@@ -1,0 +1,40 @@
+# Vidi (Go reproduction) — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench tables examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark run per table/figure; results also land in bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Formatted paper-vs-measured tables (Table 1/2, Fig 7, §5.4, §6, sizes).
+tables:
+	$(GO) run ./cmd/vidi-bench -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/debugging
+	$(GO) run ./examples/testing
+	$(GO) run ./examples/custom-boundary
+
+# Exercise the trace-decoder fuzz target for 30s.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/trace
+
+clean:
+	rm -f test_output.txt bench_output.txt *.vidt *.vidz *.vcd

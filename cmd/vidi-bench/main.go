@@ -1,0 +1,90 @@
+// vidi-bench regenerates the tables and figures of the paper's evaluation
+// (§5–§6) on the simulation substrate and prints them with the paper's
+// numbers alongside.
+//
+// Usage:
+//
+//	vidi-bench -table 1            # Table 1: overhead + trace sizes
+//	vidi-bench -table 2            # Table 2: resource overhead per app
+//	vidi-bench -fig 7              # Fig 7: resource scaling vs width
+//	vidi-bench -table effectiveness  # §5.4 divergence experiment
+//	vidi-bench -table bandwidth      # §6 back-of-the-envelope analysis
+//	vidi-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vidi/internal/eval"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth")
+	fig := flag.String("fig", "", "figure to regenerate: 7")
+	all := flag.Bool("all", false, "regenerate everything")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	reps := flag.Int("reps", 3, "paired R1/R2 runs per app for overhead statistics (paper uses 10)")
+	seed := flag.Int64("seed", 1000, "base seed")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vidi-bench:", err)
+		os.Exit(1)
+	}
+	if *all || *table == "1" {
+		ran = true
+		fmt.Println("== Table 1: execution time, recording overhead, trace size ==")
+		rows, err := eval.Table1(eval.DefaultTableApps(), *scale, *reps, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *all || *table == "2" {
+		ran = true
+		fmt.Println("== Table 2: on-FPGA resource overhead (modelled vs paper) ==")
+		fmt.Print(eval.FormatTable2(eval.Table2(eval.DefaultTableApps())))
+		fmt.Println()
+	}
+	if *all || *fig == "7" {
+		ran = true
+		fmt.Println("== Fig 7: resource overhead vs monitored interface width ==")
+		fmt.Print(eval.FormatFig7(eval.Fig7()))
+		fmt.Println()
+	}
+	if *all || *table == "sizes" {
+		ran = true
+		fmt.Println("== Trace sizes by recording approach ==")
+		rows, err := eval.TraceSizes(eval.DefaultTableApps(), *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatTraceSizes(rows))
+		fmt.Println()
+	}
+	if *all || *table == "effectiveness" {
+		ran = true
+		fmt.Println("== §5.4 effectiveness: divergences across record/replay ==")
+		names := append(eval.DefaultTableApps(), "dma-irq")
+		rows, err := eval.Effectiveness(names, *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatEffectiveness(rows))
+		fmt.Println()
+	}
+	if *all || *table == "bandwidth" {
+		ran = true
+		fmt.Println("== §6: physical-timestamp recording bandwidth analysis ==")
+		fmt.Println(eval.Section6())
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

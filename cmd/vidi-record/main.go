@@ -1,0 +1,68 @@
+// vidi-record runs one of the bundled FPGA applications on the simulated
+// F1 platform with Vidi recording enabled (configuration R2) and writes the
+// reference trace to a file.
+//
+// Usage:
+//
+//	vidi-record -app sha -seed 42 -out sha.vidt
+//
+// The seed drives the environment's timing non-determinism; keep it to
+// reproduce the same workload, and pass the same seed to vidi-replay (the
+// platform's internal latency model derives from it, like deploying the
+// same bitstream).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vidi/internal/apps"
+	"vidi/internal/eval"
+)
+
+func main() {
+	app := flag.String("app", "", "application to run: "+strings.Join(apps.Names(), ", "))
+	seed := flag.Int64("seed", 1, "environment timing seed")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	out := flag.String("out", "", "trace output file (default <app>.vidt)")
+	saf := flag.Bool("store-and-forward", false, "use the conservative store-and-forward monitor")
+	compress := flag.Bool("compress", false, "write the trace DEFLATE-compressed")
+	ifaces := flag.String("interfaces", "", "comma-separated interfaces to monitor (default: all), e.g. ocl,pcis,irq")
+	flag.Parse()
+
+	if *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = *app + ".vidt"
+	}
+	rc := eval.RunConfig{
+		App: *app, Scale: *scale, Seed: *seed, Cfg: eval.R2, StoreAndForward: *saf,
+	}
+	if *ifaces != "" {
+		rc.OnlyInterfaces = strings.Split(*ifaces, ",")
+	}
+	res, err := eval.Run(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-record:", err)
+		os.Exit(1)
+	}
+	if res.CheckErr != nil {
+		fmt.Fprintln(os.Stderr, "vidi-record: golden check FAILED:", res.CheckErr)
+		os.Exit(1)
+	}
+	save := res.Trace.Save
+	if *compress {
+		save = res.Trace.SaveCompressed
+	}
+	if err := save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-record:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %s: %d cycles, %d transactions, %d trace bytes → %s\n",
+		*app, res.Cycles, res.Trace.TotalTransactions(), res.Trace.SizeBytes(), *out)
+	fmt.Print(res.Trace.Summary())
+}

@@ -1,0 +1,83 @@
+// vidi-replay re-executes a recorded trace against a bundled application
+// (configuration R3: the replay is itself recorded, producing the
+// validation trace for divergence detection).
+//
+// Usage:
+//
+//	vidi-replay -app sha -trace sha.vidt -seed 42 -validate
+//
+// Use the same -seed and -scale as the recording (the equivalent of
+// redeploying the same bitstream). With -validate, the validation trace is
+// compared against the reference and the divergence report printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vidi/internal/apps"
+	"vidi/internal/core"
+	"vidi/internal/eval"
+	"vidi/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "", "application to replay: "+strings.Join(apps.Names(), ", "))
+	tracePath := flag.String("trace", "", "reference trace file")
+	seed := flag.Int64("seed", 1, "seed used at record time")
+	scale := flag.Int("scale", 1, "workload scale used at record time")
+	validate := flag.Bool("validate", false, "compare the validation trace against the reference")
+	valOut := flag.String("validation-out", "", "optionally save the validation trace")
+	vcd := flag.String("vcd", "", "dump the replayed FPGA-side signals to a VCD waveform file")
+	ifaces := flag.String("interfaces", "", "interface selection used at record time, e.g. ocl,pcis,irq")
+	flag.Parse()
+
+	if *app == "" || *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ref, err := trace.LoadAuto(*tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+		os.Exit(1)
+	}
+	rc := eval.RunConfig{
+		App: *app, Scale: *scale, Seed: *seed, Cfg: eval.R3, ReplayTrace: ref, VCDPath: *vcd,
+	}
+	if *ifaces != "" {
+		rc.OnlyInterfaces = strings.Split(*ifaces, ",")
+	}
+	res, err := eval.Run(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %s: %d cycles, %d transactions recreated\n",
+		*app, res.Cycles, res.Trace.TotalTransactions())
+	if *vcd != "" {
+		fmt.Println("waveforms dumped to", *vcd)
+	}
+	if *valOut != "" {
+		if err := res.Trace.Save(*valOut); err != nil {
+			fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+			os.Exit(1)
+		}
+		fmt.Println("validation trace saved to", *valOut)
+	}
+	if *validate {
+		report, err := core.Compare(ref, res.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		if !report.Clean() {
+			fmt.Println("diagnosis:")
+			fmt.Print(core.FormatFindings(core.Diagnose(report, ref)))
+			os.Exit(3)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// vidi-validate is Vidi's offline trace validation tool (§4.2): it compares
+// a reference trace against a validation trace and reports divergences in
+// transaction counts, contents and happens-before ordering.
+//
+// Usage:
+//
+//	vidi-validate -ref sha.vidt -val sha-validation.vidt
+//
+// Exit status 0 when the traces match, 3 when divergences are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vidi/internal/core"
+	"vidi/internal/trace"
+)
+
+func main() {
+	refPath := flag.String("ref", "", "reference trace file")
+	valPath := flag.String("val", "", "validation trace file")
+	flag.Parse()
+	if *refPath == "" || *valPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ref, err := trace.LoadAuto(*refPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-validate:", err)
+		os.Exit(1)
+	}
+	val, err := trace.LoadAuto(*valPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-validate:", err)
+		os.Exit(1)
+	}
+	report, err := core.Compare(ref, val)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-validate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	fmt.Println()
+	if !report.Clean() {
+		os.Exit(3)
+	}
+}

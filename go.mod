@@ -1,0 +1,3 @@
+module vidi
+
+go 1.22

@@ -1,0 +1,75 @@
+package apps_test
+
+import (
+	"testing"
+
+	"vidi/internal/apps"
+	"vidi/internal/eval"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := apps.Names()
+	want := []string{"dma", "render3d", "bnn", "digitr", "faced", "spamf", "opflw", "sssp", "sha", "mnet"}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d apps: %v", len(names), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registry order: got %v, want %v first", names[:len(want)], want)
+		}
+	}
+	if _, err := apps.New("nope", 1); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+// TestAllAppsNativeGolden runs every application transparently (R1) and
+// verifies its golden model.
+func TestAllAppsNativeGolden(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := eval.Run(eval.RunConfig{App: name, Scale: 1, Seed: 101, Cfg: eval.R1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CheckErr != nil {
+				t.Fatalf("golden check failed: %v", res.CheckErr)
+			}
+			t.Logf("%s: %d cycles", name, res.Cycles)
+		})
+	}
+}
+
+// TestAllAppsRecordReplay performs the §5.4 effectiveness workflow on every
+// application: record a reference (R2), replay while recording a validation
+// trace (R3), and compare. Only the polling DMA app may diverge, and only
+// with content divergences attributable to the polled status.
+func TestAllAppsRecordReplay(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			report, rec, _, err := eval.RecordReplay(name, 1, 202)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Trace.TotalTransactions() == 0 {
+				t.Fatal("no transactions recorded")
+			}
+			if name == "dma" {
+				for _, d := range report.Divergences {
+					if d.Name != "ocl.R" && d.Name != "pcis.R" {
+						t.Fatalf("dma diverged outside polling-affected channels: %s", d.Format())
+					}
+				}
+				t.Logf("dma: %d divergences in %d transactions (polling)", len(report.Divergences), report.RefTransactions)
+				return
+			}
+			if !report.Clean() {
+				t.Fatalf("%s diverged:\n%s", name, report)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package apps_test
+
+import (
+	"testing"
+
+	"vidi/internal/eval"
+)
+
+// TestScaleKnobGrowsWorkloads verifies the scale factor actually enlarges
+// the workloads: more simulated cycles and at least as many transactions.
+func TestScaleKnobGrowsWorkloads(t *testing.T) {
+	for _, name := range []string{"dma", "bnn", "sha"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			small, err := eval.Run(eval.RunConfig{App: name, Scale: 1, Seed: 9, Cfg: eval.R2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			big, err := eval.Run(eval.RunConfig{App: name, Scale: 2, Seed: 9, Cfg: eval.R2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if big.CheckErr != nil {
+				t.Fatalf("scale-2 golden check: %v", big.CheckErr)
+			}
+			if big.Cycles <= small.Cycles {
+				t.Fatalf("scale 2 not longer: %d vs %d cycles", big.Cycles, small.Cycles)
+			}
+			if big.Trace.TotalTransactions() <= small.Trace.TotalTransactions() {
+				t.Fatalf("scale 2 not busier: %d vs %d transactions",
+					big.Trace.TotalTransactions(), small.Trace.TotalTransactions())
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package axi implements an AXI-style on-chip communication protocol on top
+// of the sim kernel: five-channel interfaces (AW/W/B for writes, AR/R for
+// reads) in both full (burst-capable, 512-bit data) and Lite (32-bit)
+// flavours, manager and subordinate engines, and a runtime protocol checker.
+//
+// AXI is the de facto communication mechanism between CPUs and FPGAs on the
+// AWS F1 platform the Vidi paper targets; the ordering rules reproduced here
+// (e.g. a write response B may only be issued after both the AW and W
+// transactions complete, Fig 2 of the paper) are what make transaction
+// ordering matter for record/replay.
+package axi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vidi/internal/sim"
+)
+
+// Payload widths in bytes for the simulated channels.
+const (
+	LiteAWWidth = 4 // addr32
+	LiteWWidth  = 5 // data32 + strb
+	LiteBWidth  = 1 // resp
+	LiteARWidth = 4 // addr32
+	LiteRWidth  = 5 // data32 + resp
+
+	FullAWWidth = 9  // addr64 + len (beats-1)
+	FullWWidth  = 73 // data512 + strb64 + last
+	FullBWidth  = 1  // resp
+	FullARWidth = 9  // addr64 + len
+	FullRWidth  = 66 // data512 + resp + last
+
+	// FullDataBytes is the data width of a full AXI beat (512 bits).
+	FullDataBytes = 64
+)
+
+// Resp codes.
+const (
+	RespOKAY   = 0
+	RespSLVERR = 2
+)
+
+// Interface is a five-channel AXI interface. Direction semantics (which
+// channels are inputs to the FPGA) depend on which side is the manager and
+// are resolved by the shell when it declares the record/replay boundary.
+type Interface struct {
+	Name string
+	Lite bool
+	AW   *sim.Channel
+	W    *sim.Channel
+	B    *sim.Channel
+	AR   *sim.Channel
+	R    *sim.Channel
+}
+
+// NewLite creates an AXI-Lite interface named name.
+func NewLite(s *sim.Simulator, name string) *Interface {
+	return &Interface{
+		Name: name, Lite: true,
+		AW: s.NewChannel(name+".AW", LiteAWWidth),
+		W:  s.NewChannel(name+".W", LiteWWidth),
+		B:  s.NewChannel(name+".B", LiteBWidth),
+		AR: s.NewChannel(name+".AR", LiteARWidth),
+		R:  s.NewChannel(name+".R", LiteRWidth),
+	}
+}
+
+// NewFull creates a full (burst-capable) AXI interface named name.
+func NewFull(s *sim.Simulator, name string) *Interface {
+	return &Interface{
+		Name: name,
+		AW:   s.NewChannel(name+".AW", FullAWWidth),
+		W:    s.NewChannel(name+".W", FullWWidth),
+		B:    s.NewChannel(name+".B", FullBWidth),
+		AR:   s.NewChannel(name+".AR", FullARWidth),
+		R:    s.NewChannel(name+".R", FullRWidth),
+	}
+}
+
+// Channels returns the interface's channels in canonical order
+// (AW, W, B, AR, R).
+func (f *Interface) Channels() []*sim.Channel {
+	return []*sim.Channel{f.AW, f.W, f.B, f.AR, f.R}
+}
+
+// AWPayload is the payload of a write-address transaction.
+type AWPayload struct {
+	Addr uint64
+	// Len is the number of data beats minus one (AXI encoding). Always 0
+	// for Lite.
+	Len uint8
+}
+
+// Encode serializes the payload for an interface of the given flavour.
+func (p AWPayload) Encode(lite bool) []byte {
+	if lite {
+		b := make([]byte, LiteAWWidth)
+		binary.LittleEndian.PutUint32(b, uint32(p.Addr))
+		return b
+	}
+	b := make([]byte, FullAWWidth)
+	binary.LittleEndian.PutUint64(b, p.Addr)
+	b[8] = p.Len
+	return b
+}
+
+// DecodeAW parses a write-address payload.
+func DecodeAW(b []byte, lite bool) AWPayload {
+	if lite {
+		return AWPayload{Addr: uint64(binary.LittleEndian.Uint32(b))}
+	}
+	return AWPayload{Addr: binary.LittleEndian.Uint64(b), Len: b[8]}
+}
+
+// WPayload is the payload of one write-data beat.
+type WPayload struct {
+	Data []byte // 4 bytes (Lite) or 64 bytes (full)
+	Strb []byte // byte-enable mask, 1 bit per data byte
+	Last bool   // final beat of the burst (full only)
+}
+
+// Encode serializes the beat.
+func (p WPayload) Encode(lite bool) []byte {
+	if lite {
+		b := make([]byte, LiteWWidth)
+		copy(b, p.Data)
+		b[4] = strbByte(p.Strb, 4)
+		return b
+	}
+	b := make([]byte, FullWWidth)
+	copy(b, p.Data)
+	copy(b[FullDataBytes:FullDataBytes+8], strbBytes(p.Strb, FullDataBytes))
+	if p.Last {
+		b[72] = 1
+	}
+	return b
+}
+
+// DecodeW parses a write-data beat.
+func DecodeW(b []byte, lite bool) WPayload {
+	if lite {
+		return WPayload{Data: append([]byte(nil), b[:4]...), Strb: strbBits(b[4:5], 4), Last: true}
+	}
+	return WPayload{
+		Data: append([]byte(nil), b[:FullDataBytes]...),
+		Strb: strbBits(b[FullDataBytes:FullDataBytes+8], FullDataBytes),
+		Last: b[72] != 0,
+	}
+}
+
+// BPayload is the payload of a write response.
+type BPayload struct{ Resp uint8 }
+
+// Encode serializes the response.
+func (p BPayload) Encode() []byte { return []byte{p.Resp} }
+
+// DecodeB parses a write response.
+func DecodeB(b []byte) BPayload { return BPayload{Resp: b[0]} }
+
+// ARPayload is the payload of a read-address transaction.
+type ARPayload struct {
+	Addr uint64
+	Len  uint8
+}
+
+// Encode serializes the payload.
+func (p ARPayload) Encode(lite bool) []byte {
+	if lite {
+		b := make([]byte, LiteARWidth)
+		binary.LittleEndian.PutUint32(b, uint32(p.Addr))
+		return b
+	}
+	b := make([]byte, FullARWidth)
+	binary.LittleEndian.PutUint64(b, p.Addr)
+	b[8] = p.Len
+	return b
+}
+
+// DecodeAR parses a read-address payload.
+func DecodeAR(b []byte, lite bool) ARPayload {
+	if lite {
+		return ARPayload{Addr: uint64(binary.LittleEndian.Uint32(b))}
+	}
+	return ARPayload{Addr: binary.LittleEndian.Uint64(b), Len: b[8]}
+}
+
+// RPayload is the payload of one read-data beat.
+type RPayload struct {
+	Data []byte
+	Resp uint8
+	Last bool
+}
+
+// Encode serializes the beat.
+func (p RPayload) Encode(lite bool) []byte {
+	if lite {
+		b := make([]byte, LiteRWidth)
+		copy(b, p.Data)
+		b[4] = p.Resp
+		return b
+	}
+	b := make([]byte, FullRWidth)
+	copy(b, p.Data)
+	b[FullDataBytes] = p.Resp
+	if p.Last {
+		b[FullDataBytes+1] = 1
+	}
+	return b
+}
+
+// DecodeR parses a read-data beat.
+func DecodeR(b []byte, lite bool) RPayload {
+	if lite {
+		return RPayload{Data: append([]byte(nil), b[:4]...), Resp: b[4], Last: true}
+	}
+	return RPayload{
+		Data: append([]byte(nil), b[:FullDataBytes]...),
+		Resp: b[FullDataBytes],
+		Last: b[FullDataBytes+1] != 0,
+	}
+}
+
+// AllOnesStrb returns a strobe enabling all n data bytes.
+func AllOnesStrb(n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// strbBytes packs per-byte enables (one byte per data byte, 0/1) into a
+// bitmask of n/8 bytes.
+func strbBytes(strb []byte, n int) []byte {
+	out := make([]byte, (n+7)/8)
+	for i := 0; i < n && i < len(strb); i++ {
+		if strb[i] != 0 {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+func strbByte(strb []byte, n int) byte {
+	return strbBytes(strb, n)[0]
+}
+
+// strbBits unpacks a bitmask into per-byte enables.
+func strbBits(mask []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if mask[i/8]&(1<<(uint(i)%8)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Mem is the byte-addressable backing store used by subordinate engines.
+type Mem interface {
+	ReadAt(addr uint64, p []byte) error
+	WriteAt(addr uint64, p []byte) error
+	Size() uint64
+}
+
+// SliceMem is a trivial in-process Mem.
+type SliceMem []byte
+
+// ReadAt implements Mem.
+func (m SliceMem) ReadAt(addr uint64, p []byte) error {
+	if addr+uint64(len(p)) > uint64(len(m)) {
+		return fmt.Errorf("axi: read [%#x,%#x) out of range (size %#x)", addr, addr+uint64(len(p)), len(m))
+	}
+	copy(p, m[addr:])
+	return nil
+}
+
+// WriteAt implements Mem.
+func (m SliceMem) WriteAt(addr uint64, p []byte) error {
+	if addr+uint64(len(p)) > uint64(len(m)) {
+		return fmt.Errorf("axi: write [%#x,%#x) out of range (size %#x)", addr, addr+uint64(len(p)), len(m))
+	}
+	copy(m[addr:], p)
+	return nil
+}
+
+// Size implements Mem.
+func (m SliceMem) Size() uint64 { return uint64(len(m)) }

@@ -1,0 +1,545 @@
+package axi
+
+// WriteOp is one write request issued by a WriteManager.
+type WriteOp struct {
+	Addr uint64
+	Data []byte
+	// Strb optionally disables bytes (1 = write). Nil writes all bytes.
+	Strb []byte
+	// Done, if non-nil, is invoked with the response code when the write
+	// response (B) transaction completes.
+	Done func(resp uint8)
+}
+
+// WriteManager drives the AW/W/B channels of an interface as the manager
+// side: it issues the write address, streams the data beats, and consumes
+// the write response. AW and W progress independently, so their transaction
+// events can interleave in either order — the ordering freedom the AXI
+// protocol permits (§2.2 of the paper).
+type WriteManager struct {
+	name  string
+	iface *Interface
+
+	awQueue [][]byte
+	wQueue  [][]byte
+	pending []func(uint8)
+
+	awActive bool
+	awCur    []byte
+	wActive  bool
+	wCur     []byte
+
+	// AWGap and WGap, if non-nil, insert idle cycles before the next AW or
+	// W transaction, modelling environment-side timing jitter.
+	AWGap func() int
+	WGap  func() int
+	awGap int
+	wGap  int
+
+	// Link, if non-nil, throttles data beats to the shared link bandwidth.
+	Link *TokenBucket
+}
+
+// NewWriteManager creates a write manager for iface.
+func NewWriteManager(name string, iface *Interface) *WriteManager {
+	return &WriteManager{name: name, iface: iface}
+}
+
+// Name implements sim.Module.
+func (m *WriteManager) Name() string { return m.name }
+
+// beatSize returns the data bytes per beat for the interface flavour.
+func (m *WriteManager) beatSize() int {
+	if m.iface.Lite {
+		return 4
+	}
+	return FullDataBytes
+}
+
+// Push enqueues a write operation. Data longer than one beat is split into
+// a burst (full interfaces only; Lite writes must fit one beat).
+func (m *WriteManager) Push(op WriteOp) {
+	bs := m.beatSize()
+	nbeats := (len(op.Data) + bs - 1) / bs
+	if nbeats == 0 {
+		nbeats = 1
+	}
+	m.awQueue = append(m.awQueue, AWPayload{Addr: op.Addr, Len: uint8(nbeats - 1)}.Encode(m.iface.Lite))
+	for i := 0; i < nbeats; i++ {
+		lo := i * bs
+		hi := lo + bs
+		if hi > len(op.Data) {
+			hi = len(op.Data)
+		}
+		data := make([]byte, bs)
+		copy(data, op.Data[lo:hi])
+		strb := make([]byte, bs)
+		for j := lo; j < hi; j++ {
+			if op.Strb == nil || op.Strb[j] != 0 {
+				strb[j-lo] = 1
+			}
+		}
+		m.wQueue = append(m.wQueue, WPayload{Data: data, Strb: strb, Last: i == nbeats-1}.Encode(m.iface.Lite))
+	}
+	m.pending = append(m.pending, op.Done)
+}
+
+// Idle reports whether all pushed writes have fully completed.
+func (m *WriteManager) Idle() bool {
+	return !m.awActive && !m.wActive && len(m.awQueue) == 0 && len(m.wQueue) == 0 && len(m.pending) == 0
+}
+
+// Eval implements sim.Module.
+func (m *WriteManager) Eval() {
+	m.iface.AW.Valid.Set(m.awActive)
+	if m.awActive {
+		m.iface.AW.Data.Set(m.awCur)
+	}
+	m.iface.W.Valid.Set(m.wActive)
+	if m.wActive {
+		m.iface.W.Data.Set(m.wCur)
+	}
+	m.iface.B.Ready.Set(true)
+}
+
+// Tick implements sim.Module.
+func (m *WriteManager) Tick() {
+	if m.awActive && m.iface.AW.Fired() {
+		m.awActive = false
+		if m.AWGap != nil {
+			m.awGap = m.AWGap()
+		}
+	}
+	if !m.awActive {
+		if m.awGap > 0 {
+			m.awGap--
+		} else if len(m.awQueue) > 0 {
+			m.awCur = m.awQueue[0]
+			m.awQueue = m.awQueue[1:]
+			m.awActive = true
+		}
+	}
+	if m.wActive && m.iface.W.Fired() {
+		m.wActive = false
+		if m.Link != nil {
+			m.Link.Spend(m.beatSize())
+		}
+		if m.WGap != nil {
+			m.wGap = m.WGap()
+		}
+	}
+	if !m.wActive {
+		if m.wGap > 0 {
+			m.wGap--
+		} else if len(m.wQueue) > 0 && (m.Link == nil || m.Link.Ok()) {
+			m.wCur = m.wQueue[0]
+			m.wQueue = m.wQueue[1:]
+			m.wActive = true
+		}
+	}
+	if m.iface.B.Fired() && len(m.pending) > 0 {
+		done := m.pending[0]
+		m.pending = m.pending[1:]
+		if done != nil {
+			done(DecodeB(m.iface.B.Data.Get()).Resp)
+		}
+	}
+}
+
+// ReadOp is one read request issued by a ReadManager.
+type ReadOp struct {
+	Addr  uint64
+	Beats int
+	// Done receives the assembled data and worst response code.
+	Done func(data []byte, resp uint8)
+}
+
+// ReadManager drives the AR/R channels of an interface as the manager side.
+type ReadManager struct {
+	name  string
+	iface *Interface
+
+	arQueue [][]byte
+	pending []*readState
+
+	arActive bool
+	arCur    []byte
+
+	ARGap func() int
+	arGap int
+
+	// Link, if non-nil, throttles accepted read beats to the shared link
+	// bandwidth by gating R-side readiness.
+	Link *TokenBucket
+}
+
+type readState struct {
+	data []byte
+	resp uint8
+	done func([]byte, uint8)
+}
+
+// NewReadManager creates a read manager for iface.
+func NewReadManager(name string, iface *Interface) *ReadManager {
+	return &ReadManager{name: name, iface: iface}
+}
+
+// Name implements sim.Module.
+func (m *ReadManager) Name() string { return m.name }
+
+func (m *ReadManager) beatSize() int {
+	if m.iface.Lite {
+		return 4
+	}
+	return FullDataBytes
+}
+
+// Push enqueues a read operation.
+func (m *ReadManager) Push(op ReadOp) {
+	beats := op.Beats
+	if beats < 1 {
+		beats = 1
+	}
+	m.arQueue = append(m.arQueue, ARPayload{Addr: op.Addr, Len: uint8(beats - 1)}.Encode(m.iface.Lite))
+	m.pending = append(m.pending, &readState{done: op.Done})
+}
+
+// Idle reports whether all pushed reads have fully completed.
+func (m *ReadManager) Idle() bool {
+	return !m.arActive && len(m.arQueue) == 0 && len(m.pending) == 0
+}
+
+// Eval implements sim.Module.
+func (m *ReadManager) Eval() {
+	m.iface.AR.Valid.Set(m.arActive)
+	if m.arActive {
+		m.iface.AR.Data.Set(m.arCur)
+	}
+	m.iface.R.Ready.Set(m.Link == nil || m.Link.Ok())
+}
+
+// Tick implements sim.Module.
+func (m *ReadManager) Tick() {
+	if m.arActive && m.iface.AR.Fired() {
+		m.arActive = false
+		if m.ARGap != nil {
+			m.arGap = m.ARGap()
+		}
+	}
+	if !m.arActive {
+		if m.arGap > 0 {
+			m.arGap--
+		} else if len(m.arQueue) > 0 {
+			m.arCur = m.arQueue[0]
+			m.arQueue = m.arQueue[1:]
+			m.arActive = true
+		}
+	}
+	if m.iface.R.Fired() && len(m.pending) > 0 {
+		if m.Link != nil {
+			m.Link.Spend(m.beatSize())
+		}
+		beat := DecodeR(m.iface.R.Data.Get(), m.iface.Lite)
+		st := m.pending[0]
+		st.data = append(st.data, beat.Data...)
+		if beat.Resp > st.resp {
+			st.resp = beat.Resp
+		}
+		if beat.Last {
+			m.pending = m.pending[1:]
+			if st.done != nil {
+				st.done(st.data, st.resp)
+			}
+		}
+	}
+}
+
+// TokenBucket models a bandwidth-limited link (e.g. PCIe to CPU-side DRAM).
+// Consumers spend bytes after their beats fire; when the balance is
+// negative, consumers must stall. A shared bucket models contention between
+// the application's own traffic and Vidi's trace store (§5.5's source of
+// recording overhead).
+type TokenBucket struct {
+	name       string
+	BytesPerCy float64
+	MaxBurst   float64
+	balance    float64
+}
+
+// NewTokenBucket creates a bucket replenished at rate bytes/cycle with the
+// given burst capacity.
+func NewTokenBucket(name string, rate, burst float64) *TokenBucket {
+	return &TokenBucket{name: name, BytesPerCy: rate, MaxBurst: burst, balance: burst}
+}
+
+// Name implements sim.Module.
+func (t *TokenBucket) Name() string { return t.name }
+
+// Ok reports whether the link can accept more traffic this cycle.
+func (t *TokenBucket) Ok() bool { return t.balance >= 0 }
+
+// Spend debits n bytes. Call from Tick after observing a fired beat.
+func (t *TokenBucket) Spend(n int) { t.balance -= float64(n) }
+
+// Eval implements sim.Module.
+func (t *TokenBucket) Eval() {}
+
+// Tick implements sim.Module.
+func (t *TokenBucket) Tick() {
+	t.balance += t.BytesPerCy
+	if t.balance > t.MaxBurst {
+		t.balance = t.MaxBurst
+	}
+}
+
+// MemSubordinate serves the subordinate side of an interface from a backing
+// Mem: it accepts writes (AW+W, responding on B only after both the address
+// and all data beats have completed — the ordering requirement of Fig 2) and
+// reads (AR, streaming beats on R).
+type MemSubordinate struct {
+	name  string
+	iface *Interface
+	mem   Mem
+
+	// Link, if non-nil, throttles data beats to the link's bandwidth.
+	Link *TokenBucket
+	// RespDelay, if non-nil, returns extra latency cycles before each B or
+	// first R beat, modelling device-side jitter.
+	RespDelay func() int
+
+	// Base is subtracted from incoming addresses before indexing mem.
+	Base uint64
+
+	awBuf []AWPayload
+	wBuf  []WPayload
+
+	bDelay  int
+	bActive bool
+
+	rq      []ARPayload
+	rBeats  [][]byte
+	rActive bool
+	rCur    []byte
+	rDelay  int
+
+	// Err records the first out-of-range access.
+	Err error
+}
+
+// NewMemSubordinate creates a memory-backed subordinate for iface.
+func NewMemSubordinate(name string, iface *Interface, mem Mem) *MemSubordinate {
+	return &MemSubordinate{name: name, iface: iface, mem: mem}
+}
+
+// Name implements sim.Module.
+func (s *MemSubordinate) Name() string { return s.name }
+
+func (s *MemSubordinate) beatSize() int {
+	if s.iface.Lite {
+		return 4
+	}
+	return FullDataBytes
+}
+
+// haveCompleteBurst reports whether a full write (address + all beats with
+// Last) is buffered.
+func (s *MemSubordinate) haveCompleteBurst() bool {
+	if len(s.awBuf) == 0 {
+		return false
+	}
+	need := int(s.awBuf[0].Len) + 1
+	return len(s.wBuf) >= need
+}
+
+// Eval implements sim.Module.
+func (s *MemSubordinate) Eval() {
+	linkOK := s.Link == nil || s.Link.Ok()
+	s.iface.AW.Ready.Set(len(s.awBuf) < 4)
+	s.iface.W.Ready.Set(len(s.wBuf) < 64 && linkOK)
+	s.iface.B.Valid.Set(s.bActive)
+	if s.bActive {
+		s.iface.B.Data.Set(BPayload{Resp: RespOKAY}.Encode())
+	}
+	s.iface.AR.Ready.Set(len(s.rq) < 4)
+	// Once a beat is offered, VALID stays high until it fires (protocol
+	// stability); link throttling only delays starting the next beat.
+	s.iface.R.Valid.Set(s.rActive)
+	if s.rActive {
+		s.iface.R.Data.Set(s.rCur)
+	}
+}
+
+// Tick implements sim.Module.
+func (s *MemSubordinate) Tick() {
+	// Accept address and data beats.
+	if s.iface.AW.Fired() {
+		s.awBuf = append(s.awBuf, DecodeAW(s.iface.AW.Data.Get(), s.iface.Lite))
+	}
+	if s.iface.W.Fired() {
+		s.wBuf = append(s.wBuf, DecodeW(s.iface.W.Data.Get(), s.iface.Lite))
+		if s.Link != nil {
+			s.Link.Spend(s.beatSize())
+		}
+	}
+	// Complete a write once the whole burst is present.
+	if !s.bActive && s.bDelay == 0 && s.haveCompleteBurst() {
+		aw := s.awBuf[0]
+		need := int(aw.Len) + 1
+		addr := aw.Addr - s.Base
+		bs := s.beatSize()
+		for i := 0; i < need; i++ {
+			beat := s.wBuf[i]
+			for j, en := range beat.Strb {
+				if en != 0 {
+					if err := s.mem.WriteAt(addr+uint64(i*bs+j), beat.Data[j:j+1]); err != nil && s.Err == nil {
+						s.Err = err
+					}
+				}
+			}
+		}
+		s.awBuf = s.awBuf[1:]
+		s.wBuf = s.wBuf[need:]
+		if s.RespDelay != nil {
+			s.bDelay = s.RespDelay()
+		}
+		if s.bDelay == 0 {
+			s.bActive = true
+		}
+	} else if s.bDelay > 0 {
+		s.bDelay--
+		if s.bDelay == 0 {
+			s.bActive = true
+		}
+	}
+	if s.bActive && s.iface.B.Fired() {
+		s.bActive = false
+	}
+
+	// Reads.
+	if s.iface.AR.Fired() {
+		s.rq = append(s.rq, DecodeAR(s.iface.AR.Data.Get(), s.iface.Lite))
+	}
+	linkOK := s.Link == nil || s.Link.Ok()
+	if s.rActive && s.iface.R.Fired() {
+		if s.Link != nil {
+			s.Link.Spend(s.beatSize())
+		}
+		s.rActive = false
+	}
+	if !s.rActive && len(s.rBeats) > 0 && linkOK {
+		s.rCur = s.rBeats[0]
+		s.rBeats = s.rBeats[1:]
+		s.rActive = true
+	}
+	if !s.rActive && len(s.rBeats) == 0 && len(s.rq) > 0 {
+		if s.rDelay == 0 && s.RespDelay != nil {
+			s.rDelay = s.RespDelay() + 1
+		}
+		if s.rDelay > 1 {
+			s.rDelay--
+		} else {
+			s.rDelay = 0
+			ar := s.rq[0]
+			s.rq = s.rq[1:]
+			bs := s.beatSize()
+			beats := int(ar.Len) + 1
+			for i := 0; i < beats; i++ {
+				data := make([]byte, bs)
+				if err := s.mem.ReadAt(ar.Addr-s.Base+uint64(i*bs), data); err != nil && s.Err == nil {
+					s.Err = err
+				}
+				s.rBeats = append(s.rBeats, RPayload{Data: data, Resp: RespOKAY, Last: i == beats-1}.Encode(s.iface.Lite))
+			}
+			s.rCur = s.rBeats[0]
+			s.rBeats = s.rBeats[1:]
+			s.rActive = true
+		}
+	}
+}
+
+// RegSubordinate serves an AXI-Lite interface as a register file: writes and
+// reads at 4-byte granularity are dispatched to callbacks. It is the typical
+// FPGA-side endpoint of the ocl/sda/bar1 MMIO buses.
+type RegSubordinate struct {
+	name  string
+	iface *Interface
+
+	// OnWrite handles a register write.
+	OnWrite func(addr uint64, val uint32)
+	// OnRead produces a register value.
+	OnRead func(addr uint64) uint32
+
+	awBuf   []AWPayload
+	wBuf    []WPayload
+	bActive bool
+
+	rq      []ARPayload
+	rActive bool
+	rCur    []byte
+}
+
+// NewRegSubordinate creates a register-file subordinate for a Lite iface.
+func NewRegSubordinate(name string, iface *Interface) *RegSubordinate {
+	return &RegSubordinate{name: name, iface: iface}
+}
+
+// Name implements sim.Module.
+func (s *RegSubordinate) Name() string { return s.name }
+
+// Eval implements sim.Module.
+func (s *RegSubordinate) Eval() {
+	s.iface.AW.Ready.Set(len(s.awBuf) < 2)
+	s.iface.W.Ready.Set(len(s.wBuf) < 2)
+	s.iface.B.Valid.Set(s.bActive)
+	if s.bActive {
+		s.iface.B.Data.Set(BPayload{Resp: RespOKAY}.Encode())
+	}
+	s.iface.AR.Ready.Set(len(s.rq) < 2)
+	s.iface.R.Valid.Set(s.rActive)
+	if s.rActive {
+		s.iface.R.Data.Set(s.rCur)
+	}
+}
+
+// Tick implements sim.Module.
+func (s *RegSubordinate) Tick() {
+	if s.iface.AW.Fired() {
+		s.awBuf = append(s.awBuf, DecodeAW(s.iface.AW.Data.Get(), true))
+	}
+	if s.iface.W.Fired() {
+		s.wBuf = append(s.wBuf, DecodeW(s.iface.W.Data.Get(), true))
+	}
+	if !s.bActive && len(s.awBuf) > 0 && len(s.wBuf) > 0 {
+		aw, w := s.awBuf[0], s.wBuf[0]
+		s.awBuf, s.wBuf = s.awBuf[1:], s.wBuf[1:]
+		if s.OnWrite != nil {
+			var v uint32
+			for i := 0; i < 4; i++ {
+				v |= uint32(w.Data[i]) << (8 * i)
+			}
+			s.OnWrite(aw.Addr, v)
+		}
+		s.bActive = true
+	}
+	if s.bActive && s.iface.B.Fired() {
+		s.bActive = false
+	}
+
+	if s.iface.AR.Fired() {
+		s.rq = append(s.rq, DecodeAR(s.iface.AR.Data.Get(), true))
+	}
+	if !s.rActive && len(s.rq) > 0 {
+		ar := s.rq[0]
+		s.rq = s.rq[1:]
+		var v uint32
+		if s.OnRead != nil {
+			v = s.OnRead(ar.Addr)
+		}
+		data := []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+		s.rCur = RPayload{Data: data, Resp: RespOKAY, Last: true}.Encode(true)
+		s.rActive = true
+	}
+	if s.rActive && s.iface.R.Fired() {
+		s.rActive = false
+	}
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"vidi/internal/sim"
+)
+
+// OrderlessTrace is a Debug-Governor-style capture: per-channel content
+// sequences with no ordering information across channels.
+type OrderlessTrace struct {
+	Channels []ChannelDesc
+	Contents [][][]byte // per channel, per transaction
+}
+
+// SizeBytes is the storage cost: contents only, no ordering metadata.
+func (t *OrderlessTrace) SizeBytes() uint64 {
+	var n uint64
+	for _, ch := range t.Contents {
+		for _, c := range ch {
+			n += uint64(len(c))
+		}
+	}
+	return n
+}
+
+// OrderlessRecorder captures the data sent on each input channel,
+// independently per channel.
+type OrderlessRecorder struct {
+	inputs []*sim.Channel
+	rec    *OrderlessTrace
+}
+
+// NewOrderlessRecorder records the given input channels.
+func NewOrderlessRecorder(inputs []*sim.Channel) *OrderlessRecorder {
+	rec := &OrderlessTrace{Contents: make([][][]byte, len(inputs))}
+	for _, ch := range inputs {
+		rec.Channels = append(rec.Channels, ChannelDesc{Name: ch.Name(), Width: ch.Width()})
+	}
+	return &OrderlessRecorder{inputs: inputs, rec: rec}
+}
+
+// Name implements sim.Module.
+func (r *OrderlessRecorder) Name() string { return "orderless-recorder" }
+
+// Eval implements sim.Module.
+func (r *OrderlessRecorder) Eval() {}
+
+// Tick implements sim.Module.
+func (r *OrderlessRecorder) Tick() {
+	for i, ch := range r.inputs {
+		if ch.Fired() {
+			r.rec.Contents[i] = append(r.rec.Contents[i], ch.Data.Snapshot())
+		}
+	}
+}
+
+// Trace returns the captured trace.
+func (r *OrderlessRecorder) Trace() *OrderlessTrace { return r.rec }
+
+// OrderlessReplayer replays each channel's contents as fast as the receiver
+// accepts them, with no coordination across channels — which is precisely
+// why order-less replay cannot reproduce applications whose behaviour
+// depends on cross-channel orderings (§1).
+type OrderlessReplayer struct {
+	senders []*sim.Sender
+}
+
+// NewOrderlessReplayer attaches per-channel senders for tr onto the given
+// input channels and registers them with s.
+func NewOrderlessReplayer(s *sim.Simulator, tr *OrderlessTrace, inputs []*sim.Channel) *OrderlessReplayer {
+	r := &OrderlessReplayer{}
+	for i, ch := range inputs {
+		snd := sim.NewSender("orderless."+ch.Name(), ch)
+		for _, c := range tr.Contents[i] {
+			snd.Push(c)
+		}
+		s.Register(snd)
+		r.senders = append(r.senders, snd)
+	}
+	return r
+}
+
+// Done reports whether every channel's contents have been replayed.
+func (r *OrderlessReplayer) Done() bool {
+	for _, s := range r.senders {
+		if !s.Idle() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+// Package core implements Vidi itself: channel monitors performing
+// coarse-grained input recording, the trace encoder/store/decoder, and the
+// vector-clock channel replayers that enforce transaction determinism
+// (§3 of the paper). It also provides the offline divergence-detection and
+// trace-mutation tools (§3.6, §4.2).
+package core
+
+import (
+	"fmt"
+
+	"vidi/internal/sim"
+	"vidi/internal/trace"
+)
+
+// BoundaryChannel is one communication channel crossing the user-defined
+// record/replay boundary. Vidi interposes between the environment side (Env)
+// and the FPGA-program side (App): during recording a channel monitor
+// forwards transactions from one to the other while observing them; during
+// replay a channel replayer takes the environment's place on Env.
+type BoundaryChannel struct {
+	Info trace.ChannelInfo
+	Env  *sim.Channel
+	App  *sim.Channel
+}
+
+// Boundary is the ordered set of channels Vidi records and replays. Channel
+// order defines the bit positions in the trace's Starts/Ends vectors.
+type Boundary struct {
+	chans []BoundaryChannel
+}
+
+// NewBoundary returns an empty boundary.
+func NewBoundary() *Boundary { return &Boundary{} }
+
+// Add declares one monitored channel pair. Env and App must have equal
+// widths matching info.Width.
+func (b *Boundary) Add(info trace.ChannelInfo, env, app *sim.Channel) error {
+	if env.Width() != info.Width || app.Width() != info.Width {
+		return fmt.Errorf("core: channel %s: widths env=%d app=%d info=%d must match",
+			info.Name, env.Width(), app.Width(), info.Width)
+	}
+	b.chans = append(b.chans, BoundaryChannel{Info: info, Env: env, App: app})
+	return nil
+}
+
+// MustAdd is Add that panics on error; boundary construction errors are
+// programming mistakes.
+func (b *Boundary) MustAdd(info trace.ChannelInfo, env, app *sim.Channel) {
+	if err := b.Add(info, env, app); err != nil {
+		panic(err)
+	}
+}
+
+// Channels returns the boundary's channels in trace order.
+func (b *Boundary) Channels() []BoundaryChannel { return b.chans }
+
+// Meta builds the trace metadata for this boundary.
+func (b *Boundary) Meta(validateOutputs bool) *trace.Meta {
+	infos := make([]trace.ChannelInfo, len(b.chans))
+	for i, c := range b.chans {
+		infos[i] = c.Info
+	}
+	return trace.NewMeta(infos, validateOutputs)
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"vidi/internal/sim"
+	"vidi/internal/trace"
+)
+
+// accumulator is an order-dependent test application: it consumes values
+// from an "add" and a "xor" input channel, applies them to an accumulator in
+// arrival order (channel index breaks same-cycle ties), and emits the
+// accumulator value on the output channel after every operation. Its output
+// depends on the interleaving of the two input channels, so order-less
+// replay cannot reproduce it but transaction determinism can.
+type accumulator struct {
+	add, xor *sim.Channel // inputs (app side)
+	out      *sim.Channel // output (app side)
+
+	acc     uint32
+	results [][]byte // queued output payloads
+	active  bool
+	cur     []byte
+
+	Applied []string // log of operations, for order assertions
+}
+
+func (a *accumulator) Name() string { return "accumulator" }
+
+func (a *accumulator) Eval() {
+	a.add.Ready.Set(len(a.results) < 8)
+	a.xor.Ready.Set(len(a.results) < 8)
+	a.out.Valid.Set(a.active)
+	if a.active {
+		a.out.Data.Set(a.cur)
+	}
+}
+
+func (a *accumulator) Tick() {
+	if a.add.Fired() {
+		v := binary.LittleEndian.Uint32(a.add.Data.Get())
+		a.acc += v
+		a.Applied = append(a.Applied, "add")
+		a.emit()
+	}
+	if a.xor.Fired() {
+		v := binary.LittleEndian.Uint32(a.xor.Data.Get())
+		a.acc ^= v
+		a.Applied = append(a.Applied, "xor")
+		a.emit()
+	}
+	if a.active && a.out.Fired() {
+		a.active = false
+	}
+	if !a.active && len(a.results) > 0 {
+		a.cur = a.results[0]
+		a.results = a.results[1:]
+		a.active = true
+	}
+}
+
+func (a *accumulator) emit() {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, a.acc)
+	a.results = append(a.results, b)
+}
+
+// testSystem wires the accumulator behind a boundary with environment-side
+// channels.
+type testSystem struct {
+	sim      *sim.Simulator
+	boundary *Boundary
+	app      *accumulator
+	envAdd   *sim.Channel
+	envXor   *sim.Channel
+	envOut   *sim.Channel
+}
+
+func newTestSystem() *testSystem {
+	s := sim.New()
+	envAdd := s.NewChannel("env.add", 4)
+	envXor := s.NewChannel("env.xor", 4)
+	envOut := s.NewChannel("env.out", 4)
+	appAdd := s.NewChannel("app.add", 4)
+	appXor := s.NewChannel("app.xor", 4)
+	appOut := s.NewChannel("app.out", 4)
+
+	b := NewBoundary()
+	b.MustAdd(trace.ChannelInfo{Name: "add", Interface: "in", Width: 4, Dir: trace.Input}, envAdd, appAdd)
+	b.MustAdd(trace.ChannelInfo{Name: "xor", Interface: "in", Width: 4, Dir: trace.Input}, envXor, appXor)
+	b.MustAdd(trace.ChannelInfo{Name: "out", Interface: "out", Width: 4, Dir: trace.Output}, envOut, appOut)
+
+	app := &accumulator{add: appAdd, xor: appXor, out: appOut}
+	s.Register(app)
+	return &testSystem{sim: s, boundary: b, app: app, envAdd: envAdd, envXor: envXor, envOut: envOut}
+}
+
+func u32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+// runRecorded drives the system with jittered senders/receiver and returns
+// the outputs observed plus the recorded trace (nil if mode is ModeOff).
+func runRecorded(t *testing.T, seed int64, opts Options, nOps int) ([][]byte, *trace.Trace, []string, uint64) {
+	t.Helper()
+	ts := newTestSystem()
+	sh, err := NewShim(ts.sim, ts.boundary, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(seed)
+	addS := sim.NewSender("addS", ts.envAdd)
+	xorS := sim.NewSender("xorS", ts.envXor)
+	outR := sim.NewReceiver("outR", ts.envOut)
+	addS.Gap = sim.GapPolicy(rng, 0, 6)
+	xorS.Gap = sim.GapPolicy(rng, 0, 6)
+	outR.Policy = sim.JitterPolicy(rng, 50)
+	ts.sim.Register(addS, xorS, outR)
+
+	for i := 0; i < nOps; i++ {
+		addS.Push(u32(uint32(i*3 + 1)))
+		xorS.Push(u32(uint32(i*7 + 2)))
+	}
+	done := func() bool { return addS.Idle() && xorS.Idle() && len(outR.Received) == 2*nOps }
+	cycles, err := ts.sim.Run(100000, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outR.Received, sh.Trace(), ts.app.Applied, cycles
+}
+
+// runReplay replays tr and returns the outputs the replayers accepted plus
+// the validation trace when record is set.
+func runReplay(t *testing.T, tr *trace.Trace, record bool) ([][]byte, *trace.Trace, []string) {
+	t.Helper()
+	ts := newTestSystem()
+	sh, err := NewShim(ts.sim, ts.boundary, Options{
+		Mode: ModeReplay, Record: record, ValidateOutputs: true, ReplayTrace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outputs [][]byte
+	probe := &outProbe{ch: ts.envOut, out: &outputs}
+	ts.sim.Register(probe)
+	if _, err := ts.sim.Run(200000, sh.ReplayDone); err != nil {
+		t.Fatal(err)
+	}
+	return outputs, sh.Trace(), ts.app.Applied
+}
+
+type outProbe struct {
+	ch  *sim.Channel
+	out *[][]byte
+}
+
+func (p *outProbe) Name() string { return "outprobe" }
+func (p *outProbe) Eval()        {}
+func (p *outProbe) Tick() {
+	if p.ch.Fired() {
+		*p.out = append(*p.out, p.ch.Data.Snapshot())
+	}
+}
+
+func TestRecordingIsTransparent(t *testing.T) {
+	// R1 (off) and R2 (record) must produce identical outputs: recording
+	// must not alter program behaviour (§5.4 "Recording").
+	off, _, opsOff, _ := runRecorded(t, 42, Options{Mode: ModeOff}, 20)
+	rec, tr, opsRec, _ := runRecorded(t, 42, Options{Mode: ModeRecord, ValidateOutputs: true}, 20)
+	if len(off) != len(rec) {
+		t.Fatalf("output counts differ: %d vs %d", len(off), len(rec))
+	}
+	for i := range off {
+		if !bytes.Equal(off[i], rec[i]) {
+			t.Fatalf("output %d differs: %x vs %x", i, off[i], rec[i])
+		}
+	}
+	if len(opsOff) != len(opsRec) {
+		t.Fatal("operation logs differ in length")
+	}
+	if tr == nil || tr.TotalTransactions() == 0 {
+		t.Fatal("no trace recorded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+}
+
+func TestRecordedTraceCountsMatch(t *testing.T) {
+	_, tr, _, _ := runRecorded(t, 7, Options{Mode: ModeRecord, ValidateOutputs: true}, 15)
+	counts := tr.EndCounts()
+	// 15 adds, 15 xors, 30 outputs.
+	if counts[0] != 15 || counts[1] != 15 || counts[2] != 30 {
+		t.Fatalf("end counts %v, want [15 15 30]", counts)
+	}
+	// Input transactions carry content.
+	txns := tr.Transactions(0)
+	if len(txns) != 15 {
+		t.Fatalf("reconstructed %d add transactions", len(txns))
+	}
+	for i, tx := range txns {
+		if got := binary.LittleEndian.Uint32(tx.Content); got != uint32(i*3+1) {
+			t.Fatalf("add txn %d content %d, want %d", i, got, i*3+1)
+		}
+	}
+}
+
+func TestReplayReproducesOutputs(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 99, 1234} {
+		rec, tr, opsRec, _ := runRecorded(t, seed, Options{Mode: ModeRecord, ValidateOutputs: true}, 25)
+		rep, _, opsRep := runReplay(t, tr, false)
+		if len(rep) != len(rec) {
+			t.Fatalf("seed %d: replay produced %d outputs, recorded %d", seed, len(rep), len(rec))
+		}
+		for i := range rec {
+			if !bytes.Equal(rec[i], rep[i]) {
+				t.Fatalf("seed %d: output %d differs: recorded %x, replayed %x", seed, i, rec[i], rep[i])
+			}
+		}
+		// The application applied operations in the same order.
+		for i := range opsRec {
+			if opsRec[i] != opsRep[i] {
+				t.Fatalf("seed %d: op %d order differs: %s vs %s", seed, i, opsRec[i], opsRep[i])
+			}
+		}
+	}
+}
+
+func TestReplayWithValidationTraceIsClean(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 11, Options{Mode: ModeRecord, ValidateOutputs: true}, 30)
+	_, val, _ := runReplay(t, ref, true)
+	if val == nil {
+		t.Fatal("no validation trace recorded")
+	}
+	rep, err := Compare(ref, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("unexpected divergences:\n%s", rep)
+	}
+	if rep.RefTransactions == 0 {
+		t.Fatal("reference transaction count missing")
+	}
+}
+
+func TestReplayIsDeterministic(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 5, Options{Mode: ModeRecord, ValidateOutputs: true}, 20)
+	out1, val1, _ := runReplay(t, ref, true)
+	out2, val2, _ := runReplay(t, ref, true)
+	if len(out1) != len(out2) {
+		t.Fatal("replays produced different output counts")
+	}
+	for i := range out1 {
+		if !bytes.Equal(out1[i], out2[i]) {
+			t.Fatalf("replays differ at output %d", i)
+		}
+	}
+	if len(val1.Packets) != len(val2.Packets) {
+		t.Fatal("validation traces have different lengths across replays")
+	}
+}
+
+func TestBackPressureWithTinyBufferLosesNothing(t *testing.T) {
+	// A 4 KiB staging buffer and a 1 B/cycle store force constant
+	// back-pressure; the transaction abstraction lets Vidi stall the
+	// environment instead of dropping events (§3.3, §6).
+	outs, tr, _, slowCycles := runRecorded(t, 13, Options{
+		Mode: ModeRecord, ValidateOutputs: true, BufBytes: 4 << 10, StoreBytesPerCycle: 1,
+	}, 12)
+	if len(outs) != 24 {
+		t.Fatalf("lost outputs under back-pressure: %d", len(outs))
+	}
+	counts := tr.EndCounts()
+	if counts[0] != 12 || counts[1] != 12 || counts[2] != 24 {
+		t.Fatalf("trace lost events under back-pressure: %v", counts)
+	}
+	_, _, _, fastCycles := runRecorded(t, 13, Options{Mode: ModeRecord, ValidateOutputs: true}, 12)
+	if slowCycles < fastCycles {
+		t.Fatalf("back-pressure should slow recording: slow=%d fast=%d", slowCycles, fastCycles)
+	}
+	// And the throttled trace still replays cleanly.
+	rep, _, _ := runReplay(t, tr, false)
+	if len(rep) != 24 {
+		t.Fatalf("replay of back-pressured trace produced %d outputs", len(rep))
+	}
+}
+
+func TestStoreAndForwardAblation(t *testing.T) {
+	rec, tr, _, safCycles := runRecorded(t, 21, Options{
+		Mode: ModeRecord, ValidateOutputs: true, StoreAndForward: true,
+	}, 15)
+	_, _, _, ctCycles := runRecorded(t, 21, Options{Mode: ModeRecord, ValidateOutputs: true}, 15)
+	if safCycles < ctCycles {
+		t.Fatalf("store-and-forward should not be faster: saf=%d ct=%d", safCycles, ctCycles)
+	}
+	// Still correct: replay reproduces outputs.
+	rep, _, _ := runReplay(t, tr, false)
+	if len(rep) != len(rec) {
+		t.Fatalf("saf replay outputs %d vs %d", len(rep), len(rec))
+	}
+	for i := range rec {
+		if !bytes.Equal(rec[i], rep[i]) {
+			t.Fatalf("saf output %d differs", i)
+		}
+	}
+}
+
+func TestCompareDetectsContentDivergence(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 31, Options{Mode: ModeRecord, ValidateOutputs: true}, 10)
+	_, val, _ := runReplay(t, ref, true)
+	// Corrupt one replayed output content.
+	oc := val.Meta.ChannelByName("out")
+	mutated := false
+	for pi := range val.Packets {
+		p := &val.Packets[pi]
+		if p.Ends.Get(oc) && len(p.Contents) > 0 {
+			p.Contents[len(p.Contents)-1][0] ^= 0xff
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("found no output content to corrupt")
+	}
+	rep, err := Compare(ref, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == ContentDivergence && d.Name == "out" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("content divergence not detected:\n%s", rep)
+	}
+}
+
+func TestCompareDetectsCountDivergence(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 33, Options{Mode: ModeRecord, ValidateOutputs: true}, 10)
+	_, val, _ := runReplay(t, ref, true)
+	// Drop the last output end event.
+	oc := val.Meta.ChannelByName("out")
+	for pi := len(val.Packets) - 1; pi >= 0; pi-- {
+		p := &val.Packets[pi]
+		if p.Ends.Get(oc) {
+			removeEnd(val, pi, oc)
+			break
+		}
+	}
+	rep, err := Compare(ref, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == CountDivergence {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("count divergence not detected")
+	}
+}
+
+func TestCompareDetectsOrderDivergence(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 35, Options{Mode: ModeRecord, ValidateOutputs: true}, 10)
+	val, err := trace.FromBytes(ref.Bytes()) // deep copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two distant output ends in the validation trace.
+	if err := MoveEndBefore(val, "out", 9, "out", 2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(ref, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == OrderDivergence {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("order divergence not detected:\n%s", rep)
+	}
+}
+
+func TestCompareRequiresValidation(t *testing.T) {
+	_, ref, _, _ := runRecorded(t, 1, Options{Mode: ModeRecord}, 5)
+	if _, err := Compare(ref, ref); err == nil {
+		t.Fatal("expected error without output validation")
+	}
+}
+
+func TestMoveEndBeforeReordersTrace(t *testing.T) {
+	_, tr, _, _ := runRecorded(t, 17, Options{Mode: ModeRecord, ValidateOutputs: true}, 10)
+	xi := tr.Meta.ChannelByName("xor")
+	ai := tr.Meta.ChannelByName("add")
+	movedContent := tr.Transactions(xi)[5].Content
+	xorBefore := 0
+	addPkt := tr.FindEnd(ai, 2)
+	for _, tx := range tr.Transactions(xi) {
+		if tx.EndPacket < addPkt {
+			xorBefore++
+		}
+	}
+	// Move xor transaction #5 (its end AND, since its start follows the
+	// target, its start) strictly before add's 2nd end.
+	if err := MoveEndBefore(tr, "xor", 5, "add", 2); err != nil {
+		t.Fatal(err)
+	}
+	addPkt = tr.FindEnd(ai, 2)
+	nowBefore := 0
+	foundMoved := false
+	for _, tx := range tr.Transactions(xi) {
+		if tx.EndPacket < addPkt {
+			nowBefore++
+			if bytes.Equal(tx.Content, movedContent) {
+				foundMoved = true
+			}
+		}
+	}
+	if nowBefore != xorBefore+1 || !foundMoved {
+		t.Fatalf("mutation failed: %d→%d xor ends before add#2, moved content found=%v",
+			xorBefore, nowBefore, foundMoved)
+	}
+	if got := len(tr.Transactions(xi)); got != 10 {
+		t.Fatalf("mutation changed transaction count: %d", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("mutated trace invalid: %v", err)
+	}
+}
+
+func TestMoveEndBeforeUnknownChannel(t *testing.T) {
+	_, tr, _, _ := runRecorded(t, 17, Options{Mode: ModeRecord, ValidateOutputs: true}, 3)
+	if err := MoveEndBefore(tr, "nope", 0, "add", 0); err == nil {
+		t.Fatal("expected error for unknown channel")
+	}
+}
+
+func TestShimRejectsMismatchedReplayTrace(t *testing.T) {
+	_, tr, _, _ := runRecorded(t, 17, Options{Mode: ModeRecord, ValidateOutputs: true}, 3)
+	ts := newTestSystem()
+	// Tamper with the trace meta.
+	tr.Meta.Channels[0].Width = 8
+	if _, err := NewShim(ts.sim, ts.boundary, Options{Mode: ModeReplay, ReplayTrace: tr}); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestShimRequiresReplayTrace(t *testing.T) {
+	ts := newTestSystem()
+	if _, err := NewShim(ts.sim, ts.boundary, Options{Mode: ModeReplay}); err == nil {
+		t.Fatal("expected error for missing trace")
+	}
+}
+
+func TestEncoderReservationAccounting(t *testing.T) {
+	meta := trace.NewMeta([]trace.ChannelInfo{
+		{Name: "a", Width: 4, Dir: trace.Input},
+		{Name: "b", Width: 4, Dir: trace.Output},
+	}, true)
+	store := NewStore(1024, nil)
+	enc := NewEncoder(meta, store, 1024)
+	if !enc.CanAccept(0) {
+		t.Fatal("fresh encoder should accept")
+	}
+	enc.ReserveEnd(0)
+	r1 := enc.reserved
+	enc.ReserveEnd(0) // idempotent
+	if enc.reserved != r1 {
+		t.Fatal("double reservation must not double-count")
+	}
+	enc.LogEnd(0, nil)
+	if enc.reserved != 0 {
+		t.Fatal("reservation not released on LogEnd")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vidi/internal/trace"
+)
+
+// Diagnose inspects a divergence report together with its reference trace
+// and points the developer at the likely cycle-dependent construct — the
+// automation the paper describes for the DRAM-DMA case (§3.6): "Vidi
+// automatically identifies the problem when configured to test for replay
+// divergences. It reports transaction content, the output channel, and the
+// context... Using Vidi's report, we identify the code causing
+// cycle-dependent behavior."
+//
+// The built-in heuristics cover the divergence source the paper observed:
+//
+//   - Polling: content divergences on a narrow MMIO read-response channel
+//     whose recorded contents repeat a value and then step to another
+//     (status-register polling). The recommendation is the paper's 10-line
+//     patch: replace the poll with a completion interrupt.
+//   - Cascade: content divergences on wide data channels that follow a
+//     polling diagnosis are flagged as downstream effects rather than
+//     independent bugs.
+func Diagnose(rep *Report, ref *trace.Trace) []Finding {
+	if rep.Clean() {
+		return nil
+	}
+	// Group divergences by channel.
+	byChan := map[int][]Divergence{}
+	for _, d := range rep.Divergences {
+		byChan[d.Channel] = append(byChan[d.Channel], d)
+	}
+	chans := make([]int, 0, len(byChan))
+	for ci := range byChan {
+		chans = append(chans, ci)
+	}
+	sort.Ints(chans)
+
+	var findings []Finding
+	pollingFound := false
+	for _, ci := range chans {
+		ds := byChan[ci]
+		info := ref.Meta.Channels[ci]
+		if info.Width <= 8 && info.Dir == trace.Output && looksLikePolling(ref, ci) {
+			pollingFound = true
+			findings = append(findings, Finding{
+				Kind:    PollingSuspect,
+				Channel: info.Name,
+				Count:   len(ds),
+				Detail: fmt.Sprintf(
+					"recorded contents on %s repeat a value then step (status polling); "+
+						"replay re-times the polls, so the polled value diverges. "+
+						"Convert the poll to a cycle-independent completion interrupt.",
+					info.Name),
+			})
+		}
+	}
+	for _, ci := range chans {
+		ds := byChan[ci]
+		info := ref.Meta.Channels[ci]
+		if info.Width > 8 && pollingFound {
+			findings = append(findings, Finding{
+				Kind:    DownstreamEffect,
+				Channel: info.Name,
+				Count:   len(ds),
+				Detail: fmt.Sprintf(
+					"%d content divergence(s) on %s follow the polling divergence and are "+
+						"likely its downstream effect, not an independent bug", len(ds), info.Name),
+			})
+		} else if !pollingFound {
+			findings = append(findings, Finding{
+				Kind:    Unexplained,
+				Channel: info.Name,
+				Count:   len(ds),
+				Detail: fmt.Sprintf("%d divergence(s) on %s with no recognized cycle-dependent "+
+					"pattern; inspect the channel's transaction context", len(ds), info.Name),
+			})
+		}
+	}
+	return findings
+}
+
+// FindingKind classifies a diagnosis.
+type FindingKind int
+
+// Diagnosis categories.
+const (
+	PollingSuspect FindingKind = iota
+	DownstreamEffect
+	Unexplained
+)
+
+// String implements fmt.Stringer.
+func (k FindingKind) String() string {
+	switch k {
+	case PollingSuspect:
+		return "polling-suspect"
+	case DownstreamEffect:
+		return "downstream-effect"
+	default:
+		return "unexplained"
+	}
+}
+
+// Finding is one diagnosis derived from a divergence report.
+type Finding struct {
+	Kind    FindingKind
+	Channel string
+	Count   int
+	Detail  string
+}
+
+// Format renders the finding.
+func (f Finding) Format() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Kind, f.Channel, f.Detail)
+}
+
+// FormatFindings renders a diagnosis list.
+func FormatFindings(fs []Finding) string {
+	if len(fs) == 0 {
+		return "no divergences to diagnose"
+	}
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// looksLikePolling reports whether channel ci's recorded contents resemble
+// a polled status register: scalar values that repeat and then step at
+// least once (e.g. 0,0,0,1,0,0,1,...).
+func looksLikePolling(ref *trace.Trace, ci int) bool {
+	txns := ref.Transactions(ci)
+	if len(txns) < 2 {
+		return false
+	}
+	repeats, steps := 0, 0
+	var prev uint64
+	for i, tx := range txns {
+		if tx.Content == nil {
+			return false
+		}
+		v := scalarOf(tx.Content)
+		if i > 0 {
+			if v == prev {
+				repeats++
+			} else {
+				steps++
+			}
+		}
+		prev = v
+	}
+	// Polling shows both: runs of an unchanged value and at least one step.
+	return repeats >= 1 && steps >= 1
+}
+
+func scalarOf(b []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], b)
+	return binary.LittleEndian.Uint64(buf[:])
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"vidi/internal/trace"
+)
+
+// Encoder is Vidi's trace encoder (§3.2). Each cycle it aggregates the
+// channel packets pushed by the monitors into a cycle packet — Starts and
+// Ends bit-vectors plus the tree-compacted contents — serializes it, and
+// queues the bytes for the trace store.
+//
+// The encoder's buffer models the on-FPGA BRAM staging area. Space
+// accounting is what implements Vidi's back-pressure: monitors ask
+// CanAccept before starting a transaction, and eager end reservations
+// guarantee that an in-flight transaction's end event can always be logged
+// in the cycle it happens.
+type Encoder struct {
+	meta  *trace.Meta
+	store *Store
+
+	bufBytes int // total staging capacity (BRAM model)
+	used     int // bytes queued, waiting for the store to drain
+	reserved int // bytes reserved for outstanding end events
+
+	// Per-cycle builders, filled by monitors during Tick.
+	curStarts   []bool
+	curEnds     []bool
+	curContents [][]byte // per channel; compacted at end of cycle
+
+	// endReserved and startReserved track which channels hold reservations.
+	endReserved   []bool
+	startReserved []bool
+
+	// EmitIdlePackets records a cycle packet even for cycles without any
+	// transaction event. It is the ablation of Vidi's event-only encoding:
+	// with it on, trace size grows with wall-clock cycles the way a
+	// timestamped design would.
+	EmitIdlePackets bool
+
+	// The structured trace, for offline tooling and replay.
+	rec *trace.Trace
+
+	// Stats.
+	Denials uint64 // CanAccept refusals (a cycle may be counted repeatedly)
+}
+
+// NewEncoder creates an encoder over meta feeding store, with a staging
+// buffer of bufBytes.
+func NewEncoder(meta *trace.Meta, store *Store, bufBytes int) *Encoder {
+	n := meta.NumChannels()
+	return &Encoder{
+		meta:          meta,
+		store:         store,
+		bufBytes:      bufBytes,
+		curStarts:     make([]bool, n),
+		curEnds:       make([]bool, n),
+		curContents:   make([][]byte, n),
+		endReserved:   make([]bool, n),
+		startReserved: make([]bool, n),
+		rec:           trace.NewTrace(meta),
+	}
+}
+
+// Name implements sim.Module.
+func (e *Encoder) Name() string { return "trace-encoder" }
+
+// headerBytes is the fixed per-cycle-packet overhead.
+func (e *Encoder) headerBytes() int {
+	return trace.ByteLen(e.meta.NumInputs()) + trace.ByteLen(e.meta.NumChannels())
+}
+
+// startNeed is the worst-case bytes a start event on channel ci adds.
+func (e *Encoder) startNeed(ci int) int {
+	n := e.headerBytes()
+	if e.meta.Channels[ci].Dir == trace.Input {
+		n += e.meta.Channels[ci].Width
+	}
+	return n
+}
+
+// endNeed is the worst-case bytes an end event on channel ci adds.
+func (e *Encoder) endNeed(ci int) int {
+	n := e.headerBytes()
+	if e.meta.ValidateOutputs && e.meta.Channels[ci].Dir == trace.Output {
+		n += e.meta.Channels[ci].Width
+	}
+	return n
+}
+
+// safetyMargin is the worst case demand of one cycle across all channels,
+// kept free so that concurrent CanAccept answers cannot jointly oversubscribe
+// the buffer.
+func (e *Encoder) safetyMargin() int {
+	n := 0
+	for ci := range e.meta.Channels {
+		n += e.startNeed(ci) + e.endNeed(ci)
+	}
+	return n
+}
+
+// CanAccept reports whether channel ci's monitor may begin a new transaction
+// this cycle. It reads only registered state, so it is stable within a cycle
+// and safe to consult from Eval. When it returns false the monitor withholds
+// the handshake — Vidi's back-pressure (§3.3).
+func (e *Encoder) CanAccept(ci int) bool {
+	free := e.bufBytes - e.used - e.reserved
+	ok := free >= e.startNeed(ci)+e.endNeed(ci)+e.safetyMargin()
+	if !ok {
+		e.Denials++
+	}
+	return ok
+}
+
+// LogStart records a start event with content for channel ci in the current
+// cycle, consuming any start reservation. Called by monitors during Tick.
+func (e *Encoder) LogStart(ci int, content []byte) {
+	e.curStarts[ci] = true
+	e.curContents[ci] = content
+	if e.startReserved[ci] {
+		e.startReserved[ci] = false
+		e.reserved -= e.startNeed(ci)
+	}
+}
+
+// ReserveStart pre-allocates space for an upcoming start event (the
+// store-and-forward monitor secures it one cycle ahead).
+func (e *Encoder) ReserveStart(ci int) {
+	if !e.startReserved[ci] {
+		e.startReserved[ci] = true
+		e.reserved += e.startNeed(ci)
+	}
+}
+
+// ReserveEnd makes the eager reservation guaranteeing that the end event of
+// the transaction now starting on ci can be logged instantly later.
+func (e *Encoder) ReserveEnd(ci int) {
+	if !e.endReserved[ci] {
+		e.endReserved[ci] = true
+		e.reserved += e.endNeed(ci)
+	}
+}
+
+// LogEnd records an end event for channel ci in the current cycle,
+// consuming its reservation. content is non-nil only for output channels in
+// validation mode.
+func (e *Encoder) LogEnd(ci int, content []byte) {
+	e.curEnds[ci] = true
+	if content != nil {
+		e.curContents[ci] = content
+	}
+	if e.endReserved[ci] {
+		e.endReserved[ci] = false
+		e.reserved -= e.endNeed(ci)
+	}
+}
+
+// Eval implements sim.Module.
+func (e *Encoder) Eval() {}
+
+// Tick implements sim.Module. Monitors tick before the encoder, so by now
+// the per-cycle builders hold all of this cycle's events.
+func (e *Encoder) Tick() {
+	anyEvent := false
+	for ci := range e.curStarts {
+		if e.curStarts[ci] || e.curEnds[ci] {
+			anyEvent = true
+			break
+		}
+	}
+	if anyEvent || e.EmitIdlePackets {
+		pkt := trace.NewCyclePacket(e.meta)
+		// Input starts with content, compacted in channel order through
+		// the binary reduction tree.
+		startContents := make([][]byte, e.meta.NumChannels())
+		for ii, ci := range e.meta.InputChannels() {
+			if e.curStarts[ci] {
+				pkt.Starts.Set(ii)
+				startContents[ci] = e.curContents[ci]
+			}
+		}
+		endContents := make([][]byte, e.meta.NumChannels())
+		for ci := range e.curEnds {
+			if e.curEnds[ci] {
+				pkt.Ends.Set(ci)
+				if e.meta.ValidateOutputs && e.meta.Channels[ci].Dir == trace.Output {
+					endContents[ci] = e.curContents[ci]
+				}
+			}
+		}
+		pkt.Contents = append(trace.CompactTree(startContents), trace.CompactTree(endContents)...)
+		e.rec.Append(pkt)
+		e.used += pkt.Size(e.meta)
+	}
+	for ci := range e.curStarts {
+		e.curStarts[ci] = false
+		e.curEnds[ci] = false
+		e.curContents[ci] = nil
+	}
+	// Drain into the trace store.
+	if e.store != nil && e.used > 0 {
+		n := e.store.Accept(e.used)
+		e.used -= n
+	}
+}
+
+// Trace returns the structured trace recorded so far.
+func (e *Encoder) Trace() *trace.Trace { return e.rec }
+
+// BufferedBytes reports bytes staged but not yet accepted by the store.
+func (e *Encoder) BufferedBytes() int { return e.used }

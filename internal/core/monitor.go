@@ -1,0 +1,128 @@
+package core
+
+import (
+	"vidi/internal/sim"
+	"vidi/internal/trace"
+)
+
+// Monitor transparently interposes on one boundary channel (§3.1, Fig 4).
+//
+// For an input channel (environment is the sender) the monitor performs
+// coarse-grained input recording: it captures the start event, the content,
+// and the end event of every transaction. For an output channel it captures
+// only the end event by default, plus the content when the encoder is
+// configured for output validation (§3.6).
+//
+// The monitor may only let a transaction begin once the trace encoder has
+// accepted the start event and granted an *eager reservation* for the end
+// event. The reservation guarantees the encoder can log the end in the same
+// cycle the handshake completes, so the monitor can finish its three
+// transactions (sender side, receiver side, encoder side) simultaneously —
+// the property the paper formally verified and that Debug Governor violates.
+//
+// With a nil encoder the monitor degenerates to a transparent combinational
+// passthrough, which is Vidi's disabled (R1) configuration.
+type Monitor struct {
+	ci  int
+	bc  BoundaryChannel
+	enc *Encoder
+
+	// forwarding is registered state: a transaction is in flight between
+	// the two sides.
+	forwarding bool
+
+	// storeAndForward, when set, delays the receiver-side start by one
+	// cycle after securing the encoder reservation, modelling the
+	// conservative design in which data is "safely stored on the trace
+	// encoder" before the receiver-side transaction begins. The default is
+	// cut-through: the encoder accepts the start event combinationally in
+	// the same cycle. Kept as an ablation of Vidi's recording latency.
+	// Either way, events are logged in the cycle the receiver observes
+	// them, so the trace position matches what the FPGA program saw.
+	storeAndForward bool
+	reserved        bool
+}
+
+// newMonitor creates a monitor for boundary channel index ci. enc may be nil
+// for the transparent configuration.
+func newMonitor(ci int, bc BoundaryChannel, enc *Encoder, storeAndForward bool) *Monitor {
+	return &Monitor{ci: ci, bc: bc, enc: enc, storeAndForward: storeAndForward}
+}
+
+// Name implements sim.Module.
+func (m *Monitor) Name() string { return "monitor." + m.bc.Info.Name }
+
+// sender returns the channel the monitor receives from, and receiver the
+// channel it sends to, given the boundary direction.
+func (m *Monitor) sides() (from, to *sim.Channel) {
+	if m.bc.Info.Dir == trace.Input {
+		return m.bc.Env, m.bc.App
+	}
+	return m.bc.App, m.bc.Env
+}
+
+// Eval implements sim.Module.
+func (m *Monitor) Eval() {
+	from, to := m.sides()
+	if m.enc == nil {
+		// Transparent passthrough (recording disabled).
+		to.Valid.Set(from.Valid.Get())
+		to.Data.Set(from.Data.Get())
+		from.Ready.Set(to.Ready.Get())
+		return
+	}
+	fwd := m.forwarding
+	if !fwd && from.Valid.Get() && m.enc.CanAccept(m.ci) {
+		if m.storeAndForward {
+			// The start is logged this cycle; forwarding begins next
+			// cycle (see Tick).
+			fwd = false
+		} else {
+			fwd = true
+		}
+	}
+	to.Valid.Set(fwd)
+	if fwd {
+		to.Data.Set(from.Data.Get())
+	}
+	from.Ready.Set(fwd && to.Ready.Get())
+}
+
+// Tick implements sim.Module.
+func (m *Monitor) Tick() {
+	if m.enc == nil {
+		return
+	}
+	from, to := m.sides()
+	if m.storeAndForward && !m.forwarding && !m.reserved && from.Valid.Get() && m.enc.CanAccept(m.ci) {
+		// Store-and-forward: secure the encoder space now, begin
+		// forwarding next cycle.
+		m.enc.ReserveStart(m.ci)
+		m.enc.ReserveEnd(m.ci)
+		m.reserved = true
+		m.forwarding = true
+		return
+	}
+	if to.StartedNow() {
+		m.logEventStart(from)
+		m.forwarding = true
+	}
+	if to.Fired() {
+		var content []byte
+		if m.bc.Info.Dir == trace.Output && m.enc.meta.ValidateOutputs {
+			content = from.Data.Snapshot()
+		}
+		m.enc.LogEnd(m.ci, content)
+		m.forwarding = false
+		m.reserved = false
+	}
+}
+
+// logEventStart records the start event (input channels carry content) and
+// makes the eager end reservation.
+func (m *Monitor) logEventStart(from *sim.Channel) {
+	if m.bc.Info.Dir == trace.Input {
+		m.enc.LogStart(m.ci, from.Data.Snapshot())
+	}
+	m.enc.ReserveEnd(m.ci)
+}

@@ -1,0 +1,61 @@
+package core
+
+import "vidi/internal/axi"
+
+// Store models Vidi's trace store (§3.3): the component that moves trace
+// bytes between the FPGA and external storage (CPU-side DRAM over PCIe DMA
+// on the F1 platform) in fixed-size storage-interface packets.
+//
+// During recording the store drains the encoder's staging buffer at a
+// bounded bandwidth; during replay it feeds the decoder at a bounded fetch
+// bandwidth. When it shares a link (token bucket) with the application's own
+// DMA traffic, the contention is the dominant source of Vidi's recording
+// overhead — exactly the effect measured in Table 1 of the paper.
+type Store struct {
+	// BytesPerCycle is the store's own maximum throughput per cycle.
+	BytesPerCycle int
+	// Link optionally models the shared PCIe link; bytes moved through the
+	// store also debit this bucket, and a negative balance stalls the
+	// store for that cycle.
+	Link *axi.TokenBucket
+
+	budget int // remaining bytes this cycle
+
+	// StoredBytes counts all trace bytes moved to external storage.
+	StoredBytes uint64
+}
+
+// NewStore creates a store with the given drain bandwidth.
+func NewStore(bytesPerCycle int, link *axi.TokenBucket) *Store {
+	return &Store{BytesPerCycle: bytesPerCycle, Link: link}
+}
+
+// Name implements sim.Module.
+func (s *Store) Name() string { return "trace-store" }
+
+// Accept moves up to n bytes from the encoder (or to the decoder) this
+// cycle, honouring the bandwidth budget and the shared link. It returns the
+// number of bytes actually moved.
+func (s *Store) Accept(n int) int {
+	if s.Link != nil && !s.Link.Ok() {
+		return 0
+	}
+	if n > s.budget {
+		n = s.budget
+	}
+	if n <= 0 {
+		return 0
+	}
+	s.budget -= n
+	s.StoredBytes += uint64(n)
+	if s.Link != nil {
+		s.Link.Spend(n)
+	}
+	return n
+}
+
+// Eval implements sim.Module.
+func (s *Store) Eval() {}
+
+// Tick implements sim.Module: it replenishes the per-cycle budget.
+func (s *Store) Tick() { s.budget = s.BytesPerCycle }

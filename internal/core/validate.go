@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"vidi/internal/trace"
+	"vidi/internal/vclock"
+)
+
+// Divergence describes one difference between a reference trace and a
+// validation trace (§3.6). Vidi reports the transaction content, the output
+// channel, and the context — which transactions completed on the offending
+// channel before the divergence — so the developer can locate the
+// cycle-dependent behaviour.
+type Divergence struct {
+	Kind    DivergenceKind
+	Channel int
+	Name    string
+	Ordinal uint64 // transaction number on the channel
+	// Reference and Validation carry the differing values (contents for
+	// content divergences, counts for count divergences).
+	Reference  []byte
+	Validation []byte
+	RefCount   uint64
+	ValCount   uint64
+	// Context lists the contents of the transactions that completed on the
+	// channel immediately before the divergence.
+	Context [][]byte
+}
+
+// DivergenceKind classifies a divergence.
+type DivergenceKind int
+
+const (
+	// CountDivergence: an output channel produced a different number of
+	// transactions.
+	CountDivergence DivergenceKind = iota
+	// ContentDivergence: a transaction carried different content.
+	ContentDivergence
+	// OrderDivergence: an end event violated a recorded happens-before
+	// relation.
+	OrderDivergence
+)
+
+// String implements fmt.Stringer.
+func (k DivergenceKind) String() string {
+	switch k {
+	case CountDivergence:
+		return "count"
+	case ContentDivergence:
+		return "content"
+	default:
+		return "order"
+	}
+}
+
+// Format renders the divergence for the report.
+func (d Divergence) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s divergence on channel %d (%s)", d.Kind, d.Channel, d.Name)
+	switch d.Kind {
+	case CountDivergence:
+		fmt.Fprintf(&b, ": %d transactions recorded, %d replayed", d.RefCount, d.ValCount)
+	case ContentDivergence:
+		fmt.Fprintf(&b, ", transaction #%d: recorded %x, replayed %x", d.Ordinal, d.Reference, d.Validation)
+	case OrderDivergence:
+		fmt.Fprintf(&b, ", end event #%d replayed before a recorded predecessor", d.Ordinal)
+	}
+	if len(d.Context) > 0 {
+		fmt.Fprintf(&b, "\n  context (previous transactions on the channel):")
+		for i, c := range d.Context {
+			fmt.Fprintf(&b, "\n    -%d: %x", len(d.Context)-i, c)
+		}
+	}
+	return b.String()
+}
+
+// Report is the result of comparing a reference and a validation trace.
+type Report struct {
+	Divergences []Divergence
+	// RefTransactions is the total number of transactions in the reference,
+	// the denominator of the paper's divergence-per-transaction rates.
+	RefTransactions uint64
+}
+
+// Clean reports whether no divergences were found.
+func (r *Report) Clean() bool { return len(r.Divergences) == 0 }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("no divergences in %d transactions", r.RefTransactions)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d divergence(s) in %d transactions:\n", len(r.Divergences), r.RefTransactions)
+	for _, d := range r.Divergences {
+		b.WriteString(d.Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// maxContext bounds the per-divergence context size.
+const maxContext = 3
+
+// Compare checks a validation trace (recorded while replaying) against the
+// reference trace it replayed, implementing Vidi's two-step divergence
+// detection (§3.6, §5.4): each output channel must produce the same number
+// of transactions, each transaction the same content, and every replayed
+// end event must respect the recorded happens-before relations.
+func Compare(ref, val *trace.Trace) (*Report, error) {
+	if !ref.Meta.ValidateOutputs || !val.Meta.ValidateOutputs {
+		return nil, fmt.Errorf("core: divergence detection requires traces recorded with output validation")
+	}
+	if len(ref.Meta.Channels) != len(val.Meta.Channels) {
+		return nil, fmt.Errorf("core: traces cover %d and %d channels", len(ref.Meta.Channels), len(val.Meta.Channels))
+	}
+	rep := &Report{RefTransactions: ref.TotalTransactions()}
+
+	// Content and count comparison on output channels.
+	for _, ci := range ref.Meta.OutputChannels() {
+		name := ref.Meta.Channels[ci].Name
+		rt := ref.Transactions(ci)
+		vt := val.Transactions(ci)
+		if len(rt) != len(vt) {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Kind: CountDivergence, Channel: ci, Name: name,
+				RefCount: uint64(len(rt)), ValCount: uint64(len(vt)),
+			})
+		}
+		n := len(rt)
+		if len(vt) < n {
+			n = len(vt)
+		}
+		for k := 0; k < n; k++ {
+			if !bytes.Equal(rt[k].Content, vt[k].Content) {
+				d := Divergence{
+					Kind: ContentDivergence, Channel: ci, Name: name, Ordinal: uint64(k),
+					Reference: rt[k].Content, Validation: vt[k].Content,
+				}
+				for j := k - maxContext; j < k; j++ {
+					if j >= 0 {
+						d.Context = append(d.Context, rt[j].Content)
+					}
+				}
+				rep.Divergences = append(rep.Divergences, d)
+			}
+		}
+	}
+
+	// Ordering comparison: for each end event, the vector clock of strictly
+	// earlier end events in the validation trace must dominate the
+	// reference's. Transaction determinism promises exactly this relation.
+	refVC := endClocks(ref)
+	valVC := endClocks(val)
+	for ci := range ref.Meta.Channels {
+		n := len(refVC[ci])
+		if len(valVC[ci]) < n {
+			n = len(valVC[ci])
+		}
+		for k := 0; k < n; k++ {
+			if !valVC[ci][k].Geq(refVC[ci][k]) {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					Kind: OrderDivergence, Channel: ci,
+					Name: ref.Meta.Channels[ci].Name, Ordinal: uint64(k),
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// endClocks computes, for every end event (per channel, per ordinal), the
+// vector clock of end events in strictly earlier cycle packets.
+func endClocks(t *trace.Trace) [][]vclock.Clock {
+	n := t.Meta.NumChannels()
+	out := make([][]vclock.Clock, n)
+	counts := vclock.New(n)
+	for _, p := range t.Packets {
+		var snapshot vclock.Clock
+		for ci := 0; ci < n; ci++ {
+			if p.Ends.Get(ci) {
+				if snapshot == nil {
+					snapshot = counts.Copy()
+				}
+				out[ci] = append(out[ci], snapshot)
+			}
+		}
+		for ci := 0; ci < n; ci++ {
+			if p.Ends.Get(ci) {
+				counts.Inc(ci)
+			}
+		}
+	}
+	return out
+}

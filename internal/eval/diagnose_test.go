@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"vidi/internal/core"
+)
+
+// TestDiagnoseIdentifiesPolling reproduces the paper's §3.6 workflow end to
+// end: the divergence report from the polling DMA app, fed to the
+// diagnoser, must point at the polled status channel and classify the wide
+// data-channel divergences as downstream effects.
+func TestDiagnoseIdentifiesPolling(t *testing.T) {
+	var report *core.Report
+	var rec *RunResult
+	// The divergence depends on whether a slow-path task's poll races the
+	// copy; scan a few seeds for a diverging run.
+	for seed := int64(40); seed < 52; seed++ {
+		r, recRun, _, err := RecordReplay("dma", 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Clean() {
+			report, rec = r, recRun
+			break
+		}
+	}
+	if report == nil {
+		t.Skip("no diverging dma run in the scanned seeds")
+	}
+	findings := core.Diagnose(report, rec.Trace)
+	if len(findings) == 0 {
+		t.Fatal("diagnoser produced nothing for a diverging report")
+	}
+	var polling, downstream bool
+	for _, f := range findings {
+		switch f.Kind {
+		case core.PollingSuspect:
+			if f.Channel == "ocl.R" {
+				polling = true
+			}
+		case core.DownstreamEffect:
+			downstream = true
+		}
+	}
+	if !polling {
+		t.Fatalf("polling on ocl.R not identified:\n%s", core.FormatFindings(findings))
+	}
+	// Downstream pcis.R divergences only occur when the race corrupted a
+	// read-back; when present they must be classified as downstream.
+	for _, d := range report.Divergences {
+		if d.Name == "pcis.R" && !downstream {
+			t.Fatalf("pcis.R divergences not classified as downstream:\n%s", core.FormatFindings(findings))
+		}
+	}
+	out := core.FormatFindings(findings)
+	if !strings.Contains(out, "completion interrupt") {
+		t.Fatalf("diagnosis should recommend the interrupt patch:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestDiagnoseCleanReportIsEmpty covers the no-divergence path.
+func TestDiagnoseCleanReportIsEmpty(t *testing.T) {
+	report, rec, _, err := RecordReplay("bnn", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("bnn unexpectedly diverged:\n%s", report)
+	}
+	if fs := core.Diagnose(report, rec.Trace); fs != nil {
+		t.Fatalf("clean report produced findings: %v", fs)
+	}
+	if got := core.FormatFindings(nil); !strings.Contains(got, "no divergences") {
+		t.Fatalf("empty formatting: %q", got)
+	}
+}

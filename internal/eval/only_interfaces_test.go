@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"testing"
+
+	"vidi/internal/core"
+)
+
+// TestOnlyInterfacesReducedDeployment exercises the paper's reduced
+// configuration: record and replay monitoring only the interfaces the
+// application actually uses. The trace shrinks (no idle-channel metadata)
+// and replay remains divergence-free.
+func TestOnlyInterfacesReducedDeployment(t *testing.T) {
+	used := []string{"ocl", "pcis", "irq"}
+	full, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 44, Cfg: R2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 44, Cfg: R2, OnlyInterfaces: used})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.CheckErr != nil {
+		t.Fatalf("reduced recording broke the app: %v", reduced.CheckErr)
+	}
+	if got := len(reduced.Trace.Meta.Channels); got != 11 {
+		t.Fatalf("reduced boundary has %d channels, want 11 (2 AXI ifaces + irq)", got)
+	}
+	if reduced.Trace.TotalTransactions() != full.Trace.TotalTransactions() {
+		t.Fatalf("transaction counts differ: %d reduced vs %d full",
+			reduced.Trace.TotalTransactions(), full.Trace.TotalTransactions())
+	}
+	if reduced.Trace.SizeBytes() >= full.Trace.SizeBytes() {
+		t.Fatalf("reduced trace not smaller: %d vs %d", reduced.Trace.SizeBytes(), full.Trace.SizeBytes())
+	}
+
+	rep, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 44, Cfg: R3,
+		ReplayTrace: reduced.Trace, OnlyInterfaces: used})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := core.Compare(reduced.Trace, rep.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("reduced-deployment replay diverged:\n%s", report)
+	}
+}
+
+// TestOnlyInterfacesRejectsEmptySelection covers the misconfiguration path.
+func TestOnlyInterfacesRejectsEmptySelection(t *testing.T) {
+	_, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 1, Cfg: R2, OnlyInterfaces: []string{"nope"}})
+	if err == nil {
+		t.Fatal("expected error for a selection matching no channels")
+	}
+}
+
+// TestOnlyInterfacesReplayShapeMismatch: replaying a reduced trace against a
+// full boundary must be rejected, not silently misaligned.
+func TestOnlyInterfacesReplayShapeMismatch(t *testing.T) {
+	reduced, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 44, Cfg: R2, OnlyInterfaces: []string{"ocl", "pcis", "irq"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(RunConfig{App: "bnn", Scale: 1, Seed: 44, Cfg: R3, ReplayTrace: reduced.Trace}); err == nil {
+		t.Fatal("expected channel-shape mismatch error")
+	}
+}

@@ -1,0 +1,364 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vidi/internal/resource"
+	"vidi/internal/trace"
+)
+
+// PaperTable1 holds the numbers the paper reports in Table 1 for
+// side-by-side comparison: native execution time (s), recording overhead
+// (%), trace size (GB) and trace-size reduction versus cycle-accurate.
+var PaperTable1 = map[string]struct {
+	ETSec     float64
+	Overhead  float64
+	TraceGB   float64
+	Reduction float64
+}{
+	"dma":      {1.66, 5.93, 0.81, 97},
+	"render3d": {4.14, 0.54, 0.14, 1439},
+	"bnn":      {6.43, 0.63, 0.31, 966},
+	"digitr":   {9.56, 0.03, 0.97, 468},
+	"faced":    {17.41, -0.05, 0.12, 7011},
+	"spamf":    {1.56, 10.54, 0.83, 88},
+	"opflw":    {13.79, 1.91, 1.33, 490},
+	"sssp":     {397.83, 0.00, 0.002, 10149896},
+	"sha":      {31.75, 0.64, 1.23, 1219},
+	"mnet":     {110.71, 0.11, 0.51, 10163},
+}
+
+// PaperTable2 holds the per-app resource overheads of Table 2
+// (LUT%, FF%, BRAM%).
+var PaperTable2 = map[string][3]float64{
+	"dma":      {6.18, 4.34, 6.92},
+	"render3d": {5.57, 3.82, 6.92},
+	"bnn":      {5.67, 3.82, 6.92},
+	"digitr":   {5.65, 3.82, 6.92},
+	"faced":    {5.64, 3.82, 6.92},
+	"spamf":    {5.63, 3.82, 6.92},
+	"opflw":    {5.73, 3.86, 6.92},
+	"sssp":     {5.58, 3.82, 6.92},
+	"sha":      {5.60, 3.82, 6.92},
+	"mnet":     {5.61, 3.81, 6.92},
+}
+
+// Table1Row is one measured row of Table 1.
+type Table1Row struct {
+	App string
+	// Simulated measurements.
+	CyclesNative  uint64
+	OverheadPct   float64
+	OverheadStd   float64
+	TraceBytes    uint64
+	CycleAccBytes uint64
+	Reduction     float64
+	// Paper reference.
+	PaperOverheadPct float64
+	PaperReduction   float64
+}
+
+// cycleAccurateBytesPerCycle computes what a cycle-accurate tool would
+// store per cycle over the boundary described by m: every input channel's
+// payload plus one bit per recorded control signal.
+func cycleAccurateBytesPerCycle(m *trace.Meta) int {
+	n := 0
+	for _, c := range m.Channels {
+		if c.Dir == trace.Input {
+			n += c.Width
+		}
+	}
+	return n + (m.NumChannels()+7)/8
+}
+
+// Table1 measures native runtime, recording overhead and trace sizes for
+// every application. reps is the number of seed-paired R1/R2 runs used to
+// estimate the mean and standard deviation of the overhead (the paper uses
+// 10).
+func Table1(appNames []string, scale, reps int, seedBase int64) ([]Table1Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []Table1Row
+	for _, name := range appNames {
+		var overheads []float64
+		var lastR2 *RunResult
+		var nativeCycles uint64
+		for r := 0; r < reps; r++ {
+			seed := seedBase + int64(r)*7919
+			r1, err := Run(RunConfig{App: name, Scale: scale, Seed: seed, Cfg: R1})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s R1: %w", name, err)
+			}
+			if r1.CheckErr != nil {
+				return nil, fmt.Errorf("table1 %s R1 golden check: %w", name, r1.CheckErr)
+			}
+			r2, err := Run(RunConfig{App: name, Scale: scale, Seed: seed, Cfg: R2})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s R2: %w", name, err)
+			}
+			if r2.CheckErr != nil {
+				return nil, fmt.Errorf("table1 %s R2 golden check: %w", name, r2.CheckErr)
+			}
+			overheads = append(overheads, 100*(float64(r2.Cycles)-float64(r1.Cycles))/float64(r1.Cycles))
+			nativeCycles = r1.Cycles
+			lastR2 = r2
+		}
+		mean, std := meanStd(overheads)
+		traceBytes := uint64(lastR2.Trace.SizeBytes())
+		cab := uint64(cycleAccurateBytesPerCycle(lastR2.Trace.Meta)) * nativeCycles
+		row := Table1Row{
+			App:           name,
+			CyclesNative:  nativeCycles,
+			OverheadPct:   mean,
+			OverheadStd:   std,
+			TraceBytes:    traceBytes,
+			CycleAccBytes: cab,
+			Reduction:     float64(cab) / float64(traceBytes),
+		}
+		if p, ok := PaperTable1[name]; ok {
+			row.PaperOverheadPct = p.Overhead
+			row.PaperReduction = p.Reduction
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows like the paper's Table 1, with the paper's
+// values alongside.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %12s %14s %12s %14s %12s %12s\n",
+		"App", "ET (cycles)", "Overhead±std", "TS (bytes)", "Reduction", "paper ovh%", "paper red.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %12d %8.2f±%.2f%% %12d %13.0fx %11.2f%% %11.0fx\n",
+			r.App, r.CyclesNative, r.OverheadPct, r.OverheadStd, r.TraceBytes, r.Reduction,
+			r.PaperOverheadPct, r.PaperReduction)
+	}
+	return b.String()
+}
+
+// Table2Row is one row of Table 2: modelled vs paper resource overheads.
+type Table2Row struct {
+	App                    string
+	LUTPct, FFPct, BRAMPct float64
+	Paper                  [3]float64
+}
+
+// Table2 produces the per-app resource overhead rows.
+func Table2(appNames []string) []Table2Row {
+	var rows []Table2Row
+	for _, name := range appNames {
+		e := resource.ForApp(name)
+		rows = append(rows, Table2Row{
+			App: name, LUTPct: e.LUTPct, FFPct: e.FFPct, BRAMPct: e.BRAMPct,
+			Paper: PaperTable2[name],
+		})
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2 with the paper's numbers alongside.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %8s %8s %8s   %8s %8s %8s\n", "App", "LUT%", "FF%", "BRAM%", "p.LUT%", "p.FF%", "p.BRAM%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %8.2f %8.2f %8.2f   %8.2f %8.2f %8.2f\n",
+			r.App, r.LUTPct, r.FFPct, r.BRAMPct, r.Paper[0], r.Paper[1], r.Paper[2])
+	}
+	return b.String()
+}
+
+// Fig7Row is one point of the resource-scaling series.
+type Fig7Row struct {
+	Combo                  string
+	Bits                   int
+	LUTPct, FFPct, BRAMPct float64
+}
+
+// Fig7 produces the resource-scaling series over the paper's interface
+// combinations.
+func Fig7() []Fig7Row {
+	var rows []Fig7Row
+	for _, e := range resource.SortedByBits() {
+		rows = append(rows, Fig7Row{
+			Combo: e.Name, Bits: e.Est.Bits,
+			LUTPct: e.Est.LUTPct, FFPct: e.Est.FFPct, BRAMPct: e.Est.BRAMPct,
+		})
+	}
+	return rows
+}
+
+// FormatFig7 renders the series like the figure's x/y data.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %6s %8s %8s %8s\n", "Interfaces", "bits", "LUT%", "FF%", "BRAM%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %6d %8.2f %8.2f %8.2f\n", r.Combo, r.Bits, r.LUTPct, r.FFPct, r.BRAMPct)
+	}
+	return b.String()
+}
+
+// SizeRow compares the trace volume of the three recording approaches for
+// one application: Vidi's coarse-grained transaction recording, order-less
+// per-channel content recording (Debug Governor), and cycle-accurate
+// recording (ILA/SignalTap/Panopticon). Order-less is smallest but cannot
+// replay ordering-dependent applications; cycle-accurate is largest by
+// orders of magnitude; Vidi sits just above order-less while preserving
+// replayability.
+type SizeRow struct {
+	App            string
+	VidiBytes      uint64
+	OrderlessBytes uint64
+	CycleAccBytes  uint64
+}
+
+// TraceSizes measures the three approaches on every application.
+func TraceSizes(appNames []string, scale int, seed int64) ([]SizeRow, error) {
+	var rows []SizeRow
+	for _, name := range appNames {
+		r1, err := Run(RunConfig{App: name, Scale: scale, Seed: seed, Cfg: R1})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := Run(RunConfig{App: name, Scale: scale, Seed: seed, Cfg: R2})
+		if err != nil {
+			return nil, err
+		}
+		// Order-less stores only per-channel input contents.
+		var orderless uint64
+		counts := r2.Trace.EndCounts()
+		for ci, info := range r2.Trace.Meta.Channels {
+			if info.Dir == trace.Input {
+				orderless += counts[ci] * uint64(info.Width)
+			}
+		}
+		rows = append(rows, SizeRow{
+			App:            name,
+			VidiBytes:      uint64(r2.Trace.SizeBytes()),
+			OrderlessBytes: orderless,
+			CycleAccBytes:  uint64(cycleAccurateBytesPerCycle(r2.Trace.Meta)) * r1.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTraceSizes renders the comparison.
+func FormatTraceSizes(rows []SizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %14s %16s %16s\n", "App", "Vidi (B)", "order-less (B)", "cycle-acc (B)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %14d %16d %16d\n", r.App, r.VidiBytes, r.OrderlessBytes, r.CycleAccBytes)
+	}
+	return b.String()
+}
+
+// EffectivenessRow summarizes the §5.4 record/replay comparison for one app.
+type EffectivenessRow struct {
+	App          string
+	Transactions uint64
+	Divergences  int
+	Note         string
+}
+
+// Effectiveness runs the §5.4 workflow over the given apps.
+func Effectiveness(appNames []string, scale int, seed int64) ([]EffectivenessRow, error) {
+	var rows []EffectivenessRow
+	for _, name := range appNames {
+		report, _, _, err := RecordReplay(name, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("effectiveness %s: %w", name, err)
+		}
+		row := EffectivenessRow{App: name, Transactions: report.RefTransactions, Divergences: len(report.Divergences)}
+		if len(report.Divergences) > 0 {
+			chans := map[string]bool{}
+			for _, d := range report.Divergences {
+				chans[d.Name] = true
+			}
+			var names []string
+			for c := range chans {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			row.Note = "content divergences on " + strings.Join(names, ",") + " (polling)"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatEffectiveness renders the §5.4 summary.
+func FormatEffectiveness(rows []EffectivenessRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %14s %12s  %s\n", "App", "transactions", "divergences", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %14d %12d  %s\n", r.App, r.Transactions, r.Divergences, r.Note)
+	}
+	return b.String()
+}
+
+// BandwidthAnalysis reproduces the §6 back-of-the-envelope calculation: how
+// quickly a physical-timestamp tool (Panopticon) overruns its trace buffer
+// in the paper's setup.
+type BandwidthAnalysis struct {
+	MonitoredBits   int
+	ClockHz         float64
+	RawGBps         float64 // required tracing bandwidth
+	StoreGBps       float64 // effective PCIe storage bandwidth
+	BufferMB        float64 // available BRAM
+	TimeToLossMs    float64 // burst length before data loss
+	PaperTimeToLoss float64
+}
+
+// Section6 computes the analysis with the paper's parameters (593-bit AXI
+// channel at 250 MHz, 43 MB of BRAM, 5.5 GB/s PCIe).
+func Section6() BandwidthAnalysis {
+	const bits = 593
+	const clk = 250e6
+	raw := float64(bits) / 8 * clk / 1e9 // GB/s
+	const store = 5.5
+	const bufMB = 43.0
+	ttl := bufMB / 1e3 / (raw - store) * 1e3 // ms
+	return BandwidthAnalysis{
+		MonitoredBits: bits, ClockHz: clk,
+		RawGBps: round2(raw), StoreGBps: store, BufferMB: bufMB,
+		TimeToLossMs: round2(ttl), PaperTimeToLoss: 3.3,
+	}
+}
+
+// String renders the analysis.
+func (a BandwidthAnalysis) String() string {
+	return fmt.Sprintf(
+		"cycle-accurate tracing of %d bits @ %.0f MHz needs %.1f GB/s; PCIe sustains %.1f GB/s;\n"+
+			"a %.0f MB BRAM buffer absorbs the difference for %.1f ms before trace loss (paper: %.1f ms)",
+		a.MonitoredBits, a.ClockHz/1e6, a.RawGBps, a.StoreGBps, a.BufferMB, a.TimeToLossMs, a.PaperTimeToLoss)
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// DefaultTableApps is the Table 1/Table 2 application list: the paper's
+// ten benchmarks, with the polling DMA variant as in the paper. Extra
+// bundled apps (dma-irq, stress) are excluded from the tables.
+func DefaultTableApps() []string {
+	return []string{"dma", "render3d", "bnn", "digitr", "faced", "spamf", "opflw", "sssp", "sha", "mnet"}
+}

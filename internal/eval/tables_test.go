@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table in short mode")
+	}
+	rows, err := Table1(DefaultTableApps(), 1, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.App] = r
+		if r.TraceBytes == 0 || r.Reduction <= 1 {
+			t.Fatalf("%s: trace %d bytes, reduction %.1fx", r.App, r.TraceBytes, r.Reduction)
+		}
+		if r.OverheadPct > 35 {
+			t.Fatalf("%s: overhead %.1f%% implausible", r.App, r.OverheadPct)
+		}
+	}
+	// Shape: sssp is by far the longest run and the largest reduction
+	// (paper: 397 s and 10M×); spamf and dma carry the largest overheads
+	// (paper: 10.5%% and 5.9%%).
+	if byName["sssp"].CyclesNative < 4*byName["dma"].CyclesNative {
+		t.Errorf("sssp should dominate runtime: %d vs dma %d", byName["sssp"].CyclesNative, byName["dma"].CyclesNative)
+	}
+	for _, other := range []string{"dma", "spamf", "render3d", "sha"} {
+		if byName["sssp"].Reduction < byName[other].Reduction {
+			t.Errorf("sssp reduction %.0fx should exceed %s's %.0fx",
+				byName["sssp"].Reduction, other, byName[other].Reduction)
+		}
+	}
+	t.Logf("\n%s", FormatTable1(rows))
+}
+
+func TestTable2MatchesPaperWithinTolerance(t *testing.T) {
+	rows := Table2(DefaultTableApps())
+	for _, r := range rows {
+		if math.Abs(r.LUTPct-r.Paper[0]) > 0.5 {
+			t.Errorf("%s LUT %.2f vs paper %.2f", r.App, r.LUTPct, r.Paper[0])
+		}
+		if math.Abs(r.FFPct-r.Paper[1]) > 0.6 {
+			t.Errorf("%s FF %.2f vs paper %.2f", r.App, r.FFPct, r.Paper[1])
+		}
+		if r.BRAMPct != 6.92 {
+			t.Errorf("%s BRAM %.2f vs paper 6.92", r.App, r.BRAMPct)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "dma") {
+		t.Fatal("format missing rows")
+	}
+}
+
+func TestFig7SeriesShape(t *testing.T) {
+	rows := Fig7()
+	if len(rows) != 11 {
+		t.Fatalf("Fig 7 has 11 combinations, got %d", len(rows))
+	}
+	if rows[0].Bits != 136 || rows[len(rows)-1].Bits != 3056 {
+		t.Fatalf("endpoints %d..%d, want 136..3056", rows[0].Bits, rows[len(rows)-1].Bits)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bits >= rows[i-1].Bits && rows[i].LUTPct < rows[i-1].LUTPct {
+			t.Fatalf("LUT series not monotone at %s", rows[i].Combo)
+		}
+	}
+	t.Logf("\n%s", FormatFig7(rows))
+}
+
+func TestSection6MatchesPaperArithmetic(t *testing.T) {
+	a := Section6()
+	if math.Abs(a.RawGBps-18.5) > 0.1 {
+		t.Fatalf("raw bandwidth %.2f GB/s, paper says 18.5", a.RawGBps)
+	}
+	if math.Abs(a.TimeToLossMs-3.3) > 0.2 {
+		t.Fatalf("time to loss %.2f ms, paper says 3.3", a.TimeToLossMs)
+	}
+	if s := a.String(); !strings.Contains(s, "GB/s") {
+		t.Fatal("analysis string malformed")
+	}
+}
+
+func TestEffectivenessOnlyDMADiverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	names := append(DefaultTableApps(), "dma-irq")
+	rows, err := Effectiveness(names, 1, 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.App == "dma" {
+			continue // the polling app may diverge (that is the finding)
+		}
+		if r.Divergences != 0 {
+			t.Errorf("%s diverged: %+v", r.App, r)
+		}
+	}
+	t.Logf("\n%s", FormatEffectiveness(rows))
+}

@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestVCDPathProducesWaveform(t *testing.T) {
+	path := t.TempDir() + "/run.vcd"
+	res, err := Run(RunConfig{App: "render3d", Scale: 1, Seed: 2, Cfg: R2, VCDPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckErr != nil {
+		t.Fatal(res.CheckErr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := string(b)
+	for _, want := range []string{"$enddefinitions $end", "pcis.W.valid", "pcis.W.data", "#"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("VCD missing %q (size %d)", want, len(b))
+		}
+	}
+	if len(b) < 1024 {
+		t.Fatalf("implausibly small VCD: %d bytes", len(b))
+	}
+}

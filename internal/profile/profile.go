@@ -1,0 +1,189 @@
+// Package profile analyzes Vidi traces for performance debugging — one of
+// the record/replay use cases the paper motivates (§1: "optimize
+// performance through better profiling"). Working purely from a recorded
+// trace, it derives per-channel traffic statistics, transaction latencies
+// (start→end distance for input channels), burstiness, and cross-channel
+// concurrency, without re-running the design.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vidi/internal/trace"
+)
+
+// ChannelStats summarizes one channel's traffic.
+type ChannelStats struct {
+	Name string
+	Dir  trace.Direction
+	// Transactions is the number of completed handshakes.
+	Transactions uint64
+	// Bytes is the payload volume carried (transactions × width).
+	Bytes uint64
+	// Latency summarizes start→end distance in event-cycles (cycle packets
+	// between the start and the end; 0 = single-cycle handshake). Only
+	// meaningful for input channels, whose starts are recorded.
+	Latency Histogram
+	// InterEnd summarizes the gaps between consecutive end events on the
+	// channel, in cycle packets.
+	InterEnd Histogram
+}
+
+// Histogram is a small summary of a sample set.
+type Histogram struct {
+	Count      int
+	Min, Max   int
+	Mean       float64
+	P50, P95   int
+	samplesSum int
+}
+
+func histogram(samples []int) Histogram {
+	if len(samples) == 0 {
+		return Histogram{}
+	}
+	s := append([]int(nil), samples...)
+	sort.Ints(s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return Histogram{
+		Count: len(s), Min: s[0], Max: s[len(s)-1],
+		Mean: float64(sum) / float64(len(s)),
+		P50:  s[len(s)/2], P95: s[len(s)*95/100],
+	}
+}
+
+// String implements fmt.Stringer.
+func (h Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d max=%d mean=%.1f", h.Count, h.Min, h.P50, h.P95, h.Max, h.Mean)
+}
+
+// Profile is the result of analyzing one trace.
+type Profile struct {
+	Channels []ChannelStats
+	// Packets is the number of event-cycles in the trace.
+	Packets int
+	// TotalTransactions across all channels.
+	TotalTransactions uint64
+	// Concurrency is the mean number of events per event-cycle; values
+	// well above 1 indicate heavily overlapped traffic.
+	Concurrency float64
+	// BusiestPair names the two channels whose end events most often share
+	// a cycle packet — the tightest coupling in the design's I/O.
+	BusiestPair      [2]string
+	BusiestPairCount int
+}
+
+// Analyze computes a profile from a trace.
+func Analyze(t *trace.Trace) *Profile {
+	m := t.Meta
+	p := &Profile{Packets: len(t.Packets)}
+	nCh := m.NumChannels()
+
+	lat := make([][]int, nCh)
+	gaps := make([][]int, nCh)
+	lastEnd := make([]int, nCh)
+	for i := range lastEnd {
+		lastEnd[i] = -1
+	}
+	events := 0
+	pairCounts := map[[2]int]int{}
+
+	for _, ch := range m.Channels {
+		_ = ch
+	}
+	for ci := 0; ci < nCh; ci++ {
+		for _, tx := range t.Transactions(ci) {
+			if tx.StartPacket >= 0 && tx.EndPacket >= 0 {
+				lat[ci] = append(lat[ci], tx.EndPacket-tx.StartPacket)
+			}
+		}
+	}
+	for pi, pkt := range t.Packets {
+		var endsHere []int
+		for ci := 0; ci < nCh; ci++ {
+			if pkt.Ends.Get(ci) {
+				endsHere = append(endsHere, ci)
+				events++
+				if lastEnd[ci] >= 0 {
+					gaps[ci] = append(gaps[ci], pi-lastEnd[ci])
+				}
+				lastEnd[ci] = pi
+			}
+		}
+		for ii := 0; ii < pkt.Starts.Len(); ii++ {
+			if pkt.Starts.Get(ii) {
+				events++
+			}
+		}
+		for i := 0; i < len(endsHere); i++ {
+			for j := i + 1; j < len(endsHere); j++ {
+				pairCounts[[2]int{endsHere[i], endsHere[j]}]++
+			}
+		}
+	}
+
+	counts := t.EndCounts()
+	for ci, info := range m.Channels {
+		p.TotalTransactions += counts[ci]
+		p.Channels = append(p.Channels, ChannelStats{
+			Name:         info.Name,
+			Dir:          info.Dir,
+			Transactions: counts[ci],
+			Bytes:        counts[ci] * uint64(info.Width),
+			Latency:      histogram(lat[ci]),
+			InterEnd:     histogram(gaps[ci]),
+		})
+	}
+	if p.Packets > 0 {
+		p.Concurrency = float64(events) / float64(p.Packets)
+	}
+	best, bestN := [2]int{-1, -1}, 0
+	for pair, n := range pairCounts {
+		if n > bestN || (n == bestN && (best[0] == -1 || pair[0] < best[0])) {
+			best, bestN = pair, n
+		}
+	}
+	if bestN > 0 {
+		p.BusiestPair = [2]string{m.Channels[best[0]].Name, m.Channels[best[1]].Name}
+		p.BusiestPairCount = bestN
+	}
+	return p
+}
+
+// TopTalkers returns the n channels carrying the most payload bytes.
+func (p *Profile) TopTalkers(n int) []ChannelStats {
+	s := append([]ChannelStats(nil), p.Channels...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Bytes > s[j].Bytes })
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// String renders the profile as a report.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace profile: %d event-cycles, %d transactions, concurrency %.2f events/cycle\n",
+		p.Packets, p.TotalTransactions, p.Concurrency)
+	if p.BusiestPairCount > 0 {
+		fmt.Fprintf(&b, "tightest coupling: %s ↔ %s complete together in %d cycles\n",
+			p.BusiestPair[0], p.BusiestPair[1], p.BusiestPairCount)
+	}
+	fmt.Fprintf(&b, "%-12s %-6s %8s %10s   %-42s %s\n", "channel", "dir", "txns", "bytes", "latency (event-cycles)", "inter-end gap")
+	for _, c := range p.Channels {
+		if c.Transactions == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %8d %10d   %-42s %s\n",
+			c.Name, c.Dir, c.Transactions, c.Bytes, c.Latency.String(), c.InterEnd.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package resource
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFullConfigurationMatchesTable2(t *testing.T) {
+	full, err := ForInterfaces([]string{"ocl", "sda", "bar1", "pcis", "pcim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Bits != 3056 {
+		t.Fatalf("full width %d bits, paper says 3056", full.Bits)
+	}
+	if math.Abs(full.LUTPct-5.60) > 0.2 {
+		t.Fatalf("full LUT %.2f%%, paper ≈5.60%%", full.LUTPct)
+	}
+	if math.Abs(full.FFPct-3.82) > 0.2 {
+		t.Fatalf("full FF %.2f%%, paper ≈3.82%%", full.FFPct)
+	}
+	if full.BRAMPct != 6.92 {
+		t.Fatalf("BRAM %.2f%%, paper 6.92%%", full.BRAMPct)
+	}
+}
+
+func TestSingleLiteBusWidth(t *testing.T) {
+	e, err := ForInterfaces([]string{"sda"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bits != 136 {
+		t.Fatalf("sda width %d bits, paper says 136", e.Bits)
+	}
+	if e.LUTPct <= 0 || e.LUTPct >= 2 {
+		t.Fatalf("sda LUT %.2f%% out of plausible range", e.LUTPct)
+	}
+}
+
+func TestScalingIsMonotoneInWidth(t *testing.T) {
+	prevBits, prevLUT, prevFF := -1, -1.0, -1.0
+	for _, row := range SortedByBits() {
+		if row.Est.Bits < prevBits {
+			t.Fatal("combos not sorted by width")
+		}
+		if row.Est.Bits > prevBits {
+			if row.Est.LUTPct < prevLUT || row.Est.FFPct < prevFF {
+				t.Fatalf("utilization not monotone at %s", row.Name)
+			}
+		}
+		prevBits, prevLUT, prevFF = row.Est.Bits, row.Est.LUTPct, row.Est.FFPct
+		if row.Est.BRAMPct != 6.92 {
+			t.Fatalf("BRAM should be the fixed staging buffer, got %.2f at %s", row.Est.BRAMPct, row.Name)
+		}
+	}
+}
+
+func TestFig7EndpointsMatchPaper(t *testing.T) {
+	rows := SortedByBits()
+	if rows[0].Name != "sda" || rows[0].Est.Bits != 136 {
+		t.Fatalf("smallest combo %s/%d, want sda/136", rows[0].Name, rows[0].Est.Bits)
+	}
+	last := rows[len(rows)-1]
+	if last.Est.Bits != 3056 {
+		t.Fatalf("largest combo %d bits, want 3056", last.Est.Bits)
+	}
+}
+
+func TestLinearityOfScaling(t *testing.T) {
+	// Fit the reported points against a line; residuals should be small
+	// (the paper: "scales roughly linearly with the width").
+	rows := SortedByBits()
+	for _, row := range rows {
+		pred := lutBasePct + lutPerBit*float64(row.Est.Bits)
+		if math.Abs(row.Est.LUTPct-pred) > 0.25 {
+			t.Fatalf("LUT model deviates from linear at %s: %.2f vs %.2f", row.Name, row.Est.LUTPct, pred)
+		}
+	}
+}
+
+func TestPerAppEstimatesSpreadLikeTable2(t *testing.T) {
+	names := []string{"dma", "render3d", "bnn", "digitr", "faced", "spamf", "opflw", "sssp", "sha", "mnet"}
+	var min, max float64 = 100, 0
+	for _, n := range names {
+		e := ForApp(n)
+		if e.LUTPct < min {
+			min = e.LUTPct
+		}
+		if e.LUTPct > max {
+			max = e.LUTPct
+		}
+		if e.LUTPct < 5.0 || e.LUTPct > 7.0 {
+			t.Fatalf("%s LUT %.2f%% outside Table 2's range", n, e.LUTPct)
+		}
+	}
+	if ForApp("dma").LUTPct <= ForApp("sssp").LUTPct {
+		t.Fatal("dma should show the highest utilization, as in Table 2")
+	}
+	if max-min < 0.1 {
+		t.Fatal("per-app spread collapsed; Table 2 shows design-dependent variation")
+	}
+}
+
+func TestUnknownInterfaceRejected(t *testing.T) {
+	if _, err := ForInterfaces([]string{"nope"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAbsoluteCounts(t *testing.T) {
+	full, _ := ForInterfaces([]string{"ocl", "sda", "bar1", "pcis", "pcim"})
+	if full.LUTs() <= 0 || full.FFs() <= 0 || full.BRAMs() <= 0 {
+		t.Fatal("absolute counts should be positive")
+	}
+	// ~5.6% of 1.18M LUTs ≈ 66k.
+	if full.LUTs() < 50_000 || full.LUTs() > 90_000 {
+		t.Fatalf("LUT count %d implausible", full.LUTs())
+	}
+}
+
+func TestComboName(t *testing.T) {
+	if got := ComboName([]string{"sda", "ocl", "pcim"}); got != "sda+ocl+pcim" {
+		t.Fatalf("got %q", got)
+	}
+}

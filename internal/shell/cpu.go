@@ -1,0 +1,301 @@
+package shell
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vidi/internal/axi"
+	"vidi/internal/sim"
+)
+
+// Bus names an MMIO bus of the F1 shell.
+type Bus int
+
+// The three AXI-Lite MMIO buses.
+const (
+	OCL Bus = iota
+	SDA
+	BAR1
+)
+
+// String implements fmt.Stringer.
+func (b Bus) String() string {
+	switch b {
+	case OCL:
+		return "ocl"
+	case SDA:
+		return "sda"
+	default:
+		return "bar1"
+	}
+}
+
+// CPU is the host agent: a small multi-threaded, scriptable processor model
+// that drives the environment side of the shell. Each thread executes its
+// operation queue sequentially; operations across threads interleave, with
+// seeded random delays modelling OS scheduling and PCIe timing noise — the
+// non-determinism that Vidi records.
+type CPU struct {
+	sys *System
+	rng *rand.Rand
+
+	liteW [3]*axi.WriteManager
+	liteR [3]*axi.ReadManager
+	dmaW  *axi.WriteManager
+	dmaR  *axi.ReadManager
+
+	threads []*Thread
+
+	irqConsumed int
+}
+
+func newCPU(sys *System) *CPU {
+	c := &CPU{sys: sys, rng: sim.NewRand(sys.Cfg.Seed)}
+	envs := []*axi.Interface{sys.EnvOCL, sys.EnvSDA, sys.EnvBAR1}
+	for i, env := range envs {
+		c.liteW[i] = axi.NewWriteManager(fmt.Sprintf("cpu.%s.w", Bus(i)), env)
+		c.liteR[i] = axi.NewReadManager(fmt.Sprintf("cpu.%s.r", Bus(i)), env)
+		sys.Sim.Register(c.liteW[i], c.liteR[i])
+	}
+	c.dmaW = axi.NewWriteManager("cpu.pcis.w", sys.EnvPCIS)
+	c.dmaR = axi.NewReadManager("cpu.pcis.r", sys.EnvPCIS)
+	c.dmaW.Link = sys.PCIe
+	c.dmaR.Link = sys.PCIe
+	if sys.Cfg.JitterMax > 0 {
+		c.dmaW.AWGap = sim.GapPolicy(c.rng, 0, sys.Cfg.JitterMax/2+1)
+		c.dmaW.WGap = sim.GapPolicy(c.rng, 0, 2)
+	}
+	sys.Sim.Register(c.dmaW, c.dmaR)
+	return c
+}
+
+// Thread is one sequential stream of CPU operations.
+type Thread struct {
+	cpu  *CPU
+	name string
+	ops  []op
+	busy bool
+	wait int
+}
+
+type op func(t *Thread) // issues the operation; completion clears t.busy
+
+// NewThread creates a named CPU thread.
+func (c *CPU) NewThread(name string) *Thread {
+	t := &Thread{cpu: c, name: name}
+	c.threads = append(c.threads, t)
+	return t
+}
+
+// Name implements sim.Module.
+func (c *CPU) Name() string { return "cpu" }
+
+// Eval implements sim.Module.
+func (c *CPU) Eval() {}
+
+// Tick implements sim.Module: every idle thread issues its next operation,
+// after a seeded random delay.
+func (c *CPU) Tick() {
+	for _, t := range c.threads {
+		if t.busy || len(t.ops) == 0 {
+			continue
+		}
+		if t.wait > 0 {
+			t.wait--
+			continue
+		}
+		next := t.ops[0]
+		t.ops = t.ops[1:]
+		t.busy = true
+		next(t)
+	}
+}
+
+// Done reports whether every thread has drained its queue and completed its
+// in-flight operation.
+func (c *CPU) Done() bool {
+	for _, t := range c.threads {
+		if t.busy || len(t.ops) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// jitter returns a seeded random inter-op delay.
+func (c *CPU) jitter() int {
+	if c.sys.Cfg.JitterMax <= 0 {
+		return 0
+	}
+	return c.rng.Intn(c.sys.Cfg.JitterMax + 1)
+}
+
+func (t *Thread) enqueue(f op) *Thread {
+	t.ops = append(t.ops, func(tt *Thread) {
+		tt.wait = tt.cpu.jitter()
+		f(tt)
+	})
+	return t
+}
+
+// done marks the in-flight operation complete.
+func (t *Thread) done() { t.busy = false }
+
+// WriteReg enqueues a 32-bit MMIO register write.
+func (t *Thread) WriteReg(bus Bus, addr uint64, val uint32) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		data := []byte{byte(val), byte(val >> 8), byte(val >> 16), byte(val >> 24)}
+		tt.cpu.liteW[bus].Push(axi.WriteOp{Addr: addr, Data: data, Done: func(uint8) { tt.done() }})
+	})
+}
+
+// ReadReg enqueues a 32-bit MMIO register read; into receives the value.
+func (t *Thread) ReadReg(bus Bus, addr uint64, into func(uint32)) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		tt.cpu.liteR[bus].Push(axi.ReadOp{Addr: addr, Done: func(d []byte, _ uint8) {
+			if into != nil {
+				into(le32(d))
+			}
+			tt.done()
+		}})
+	})
+}
+
+// DMAWrite enqueues a PCIe DMA write of data to FPGA address addr (over
+// pcis). Large payloads are split into bursts of at most 64 beats.
+func (t *Thread) DMAWrite(addr uint64, data []byte) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		const maxBurst = 64 * axi.FullDataBytes
+		remaining := 0
+		for off := 0; off < len(data); off += maxBurst {
+			remaining++
+			_ = off
+		}
+		if remaining == 0 {
+			tt.done()
+			return
+		}
+		for off := 0; off < len(data); off += maxBurst {
+			hi := off + maxBurst
+			if hi > len(data) {
+				hi = len(data)
+			}
+			tt.cpu.dmaW.Push(axi.WriteOp{Addr: addr + uint64(off), Data: data[off:hi], Done: func(uint8) {
+				remaining--
+				if remaining == 0 {
+					tt.done()
+				}
+			}})
+		}
+	})
+}
+
+// DMAWriteMasked enqueues a single-burst PCIe DMA write with an explicit
+// byte-enable mask (1 = write), modelling the masked beats an unaligned
+// transfer produces.
+func (t *Thread) DMAWriteMasked(addr uint64, data, strb []byte) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		tt.cpu.dmaW.Push(axi.WriteOp{Addr: addr, Data: data, Strb: strb, Done: func(uint8) { tt.done() }})
+	})
+}
+
+// DMARead enqueues a PCIe DMA read of n bytes from FPGA address addr; into
+// receives the data. n is rounded up to whole beats.
+func (t *Thread) DMARead(addr uint64, n int, into func([]byte)) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		beats := (n + axi.FullDataBytes - 1) / axi.FullDataBytes
+		const maxBurst = 64
+		var collected []byte
+		remaining := (beats + maxBurst - 1) / maxBurst
+		for off := 0; off < beats; off += maxBurst {
+			cnt := beats - off
+			if cnt > maxBurst {
+				cnt = maxBurst
+			}
+			tt.cpu.dmaR.Push(axi.ReadOp{
+				Addr: addr + uint64(off*axi.FullDataBytes), Beats: cnt,
+				Done: func(d []byte, _ uint8) {
+					collected = append(collected, d...)
+					remaining--
+					if remaining == 0 {
+						if into != nil {
+							if len(collected) > n {
+								collected = collected[:n]
+							}
+							into(collected)
+						}
+						tt.done()
+					}
+				},
+			})
+		}
+	})
+}
+
+// Poll enqueues a polling loop: wait interval cycles, read the register,
+// and repeat until the predicate holds. This is the cycle-dependent
+// construct that causes the DRAM DMA app's replay divergence in the paper
+// (§3.6): replay compresses the inter-poll gaps, so a replayed poll can
+// land on the other side of the event it was watching.
+func (t *Thread) Poll(bus Bus, addr uint64, interval int, until func(uint32) bool) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		var attempt func()
+		attempt = func() {
+			tt.cpu.liteR[bus].Push(axi.ReadOp{Addr: addr, Done: func(d []byte, _ uint8) {
+				if until(le32(d)) {
+					tt.done()
+					return
+				}
+				// Re-poll after the interval: prepend a delay + retry.
+				tt.wait = interval
+				tt.ops = append([]op{func(*Thread) { attempt() }}, tt.ops...)
+				tt.busy = false
+			}})
+		}
+		// The first poll also waits out one interval.
+		tt.wait = interval
+		tt.ops = append([]op{func(*Thread) { attempt() }}, tt.ops...)
+		tt.busy = false
+	})
+}
+
+// WaitIRQ enqueues a wait for the next user interrupt.
+func (t *Thread) WaitIRQ() *Thread {
+	return t.enqueue(func(tt *Thread) {
+		var check func()
+		check = func() {
+			if tt.cpu.sys.IRQReceived > tt.cpu.irqConsumed {
+				tt.cpu.irqConsumed++
+				tt.done()
+				return
+			}
+			tt.ops = append([]op{func(*Thread) { check() }}, tt.ops...)
+			tt.busy = false
+		}
+		check()
+	})
+}
+
+// Sleep enqueues a fixed delay in cycles.
+func (t *Thread) Sleep(cycles int) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		tt.wait = cycles
+		tt.ops = append([]op{func(x *Thread) { x.done() }}, tt.ops...)
+		tt.busy = false
+	})
+}
+
+// Call enqueues an arbitrary host-side action (e.g. inspecting host DRAM or
+// enqueueing further operations).
+func (t *Thread) Call(f func()) *Thread {
+	return t.enqueue(func(tt *Thread) {
+		if f != nil {
+			f()
+		}
+		tt.done()
+	})
+}
+
+func le32(d []byte) uint32 {
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}

@@ -1,0 +1,171 @@
+package sim
+
+import "math/rand"
+
+// Sender drives a channel from a queue of payloads. It is a Moore machine:
+// Valid and Data are functions of registered state only, so once a payload is
+// offered it stays stable until the handshake completes, as the protocol
+// requires.
+type Sender struct {
+	name  string
+	ch    *Channel
+	queue [][]byte
+
+	active bool
+	cur    []byte
+
+	// Gap, if non-nil, returns the number of idle cycles to insert before
+	// offering the next payload. It models sender-side timing jitter.
+	Gap func() int
+	gap int
+}
+
+// NewSender creates a sender for ch. Payloads are offered in Push order.
+func NewSender(name string, ch *Channel) *Sender {
+	return &Sender{name: name, ch: ch}
+}
+
+// Name implements Module.
+func (s *Sender) Name() string { return s.name }
+
+// Push enqueues a payload for transmission. b is copied.
+func (s *Sender) Push(b []byte) {
+	c := make([]byte, len(b))
+	copy(c, b)
+	s.queue = append(s.queue, c)
+}
+
+// Pending reports the number of payloads not yet offered.
+func (s *Sender) Pending() int { return len(s.queue) }
+
+// Idle reports whether the sender has nothing queued or in flight.
+func (s *Sender) Idle() bool { return !s.active && len(s.queue) == 0 }
+
+// Eval implements Module.
+func (s *Sender) Eval() {
+	s.ch.Valid.Set(s.active)
+	if s.active {
+		s.ch.Data.Set(s.cur)
+	}
+}
+
+// Tick implements Module.
+func (s *Sender) Tick() {
+	if s.active && s.ch.Fired() {
+		s.active = false
+		if s.Gap != nil {
+			s.gap = s.Gap()
+		}
+	}
+	if !s.active {
+		if s.gap > 0 {
+			s.gap--
+			return
+		}
+		if len(s.queue) > 0 {
+			s.cur = s.queue[0]
+			s.queue = s.queue[1:]
+			s.active = true
+		}
+	}
+}
+
+// Receiver accepts transactions on a channel and records the received
+// payloads. Readiness is registered (decided at the previous clock edge) and
+// controlled by the Policy function, which models receiver-side jitter.
+type Receiver struct {
+	name string
+	ch   *Channel
+
+	// Policy reports whether the receiver will be ready in the next cycle.
+	// A nil policy is always ready.
+	Policy func() bool
+
+	ready    bool
+	Received [][]byte
+}
+
+// NewReceiver creates an always-ready receiver for ch.
+func NewReceiver(name string, ch *Channel) *Receiver {
+	return &Receiver{name: name, ch: ch, ready: true}
+}
+
+// Name implements Module.
+func (r *Receiver) Name() string { return r.name }
+
+// Eval implements Module.
+func (r *Receiver) Eval() { r.ch.Ready.Set(r.ready) }
+
+// Tick implements Module.
+func (r *Receiver) Tick() {
+	if r.ch.Fired() {
+		r.Received = append(r.Received, r.ch.Data.Snapshot())
+	}
+	if r.Policy != nil {
+		r.ready = r.Policy()
+	} else {
+		r.ready = true
+	}
+}
+
+// Fifo is a depth-bounded queue between an input and an output channel. It
+// acts as the receiver of in and the sender of out.
+type Fifo struct {
+	name  string
+	in    *Channel
+	out   *Channel
+	depth int
+	buf   [][]byte
+}
+
+// NewFifo creates a FIFO of the given depth connecting in to out.
+func NewFifo(name string, in, out *Channel, depth int) *Fifo {
+	return &Fifo{name: name, in: in, out: out, depth: depth}
+}
+
+// Name implements Module.
+func (f *Fifo) Name() string { return f.name }
+
+// Len reports the current occupancy.
+func (f *Fifo) Len() int { return len(f.buf) }
+
+// Eval implements Module.
+func (f *Fifo) Eval() {
+	f.in.Ready.Set(len(f.buf) < f.depth)
+	f.out.Valid.Set(len(f.buf) > 0)
+	if len(f.buf) > 0 {
+		f.out.Data.Set(f.buf[0])
+	}
+}
+
+// Tick implements Module.
+func (f *Fifo) Tick() {
+	if f.out.Fired() {
+		f.buf = f.buf[1:]
+	}
+	if f.in.Fired() {
+		f.buf = append(f.buf, f.in.Data.Snapshot())
+	}
+}
+
+// NewRand returns a deterministic pseudo-random source. All timing jitter in
+// the simulated environment flows from explicitly seeded sources so that
+// recorded executions can be reproduced exactly when desired and perturbed
+// when modelling real-world non-determinism.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// JitterPolicy returns a readiness policy that is ready with probability
+// p (in percent) each cycle, driven by rng.
+func JitterPolicy(rng *rand.Rand, p int) func() bool {
+	return func() bool { return rng.Intn(100) < p }
+}
+
+// GapPolicy returns a sender gap function producing uniform gaps in [min,max].
+func GapPolicy(rng *rand.Rand, min, max int) func() int {
+	if max < min {
+		max = min
+	}
+	return func() int { return min + rng.Intn(max-min+1) }
+}

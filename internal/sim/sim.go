@@ -1,0 +1,167 @@
+// Package sim implements a deterministic, cycle-accurate synchronous
+// hardware simulation kernel. It is the substrate that stands in for the
+// AWS F1 FPGA used by the Vidi paper: designs are expressed as Modules
+// connected by Wires, Data buses and VALID/READY handshake Channels, and a
+// Simulator advances them one clock cycle at a time.
+//
+// Each cycle has two phases, mirroring an RTL simulator:
+//
+//  1. Combinational settle: every module's Eval method runs repeatedly until
+//     no wire changes value (a delta-cycle fixpoint). Eval must be
+//     idempotent: it derives combinational outputs from registered state and
+//     from other wires' current values.
+//  2. Clock edge: the simulator latches handshake events on every Channel
+//     (start and end of transactions) and then calls every module's Tick
+//     method, in which modules commit sequential state. During Tick a module
+//     may inspect Channel.Fired, Channel.StartedNow and Channel.EndedNow,
+//     which reflect the cycle that just completed.
+//
+// The kernel is fully deterministic: modules are evaluated in registration
+// order and all randomness comes from explicitly seeded sources.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Module is a hardware block. Eval drives combinational outputs and is run
+// to a fixpoint each cycle; Tick commits sequential state at the clock edge.
+type Module interface {
+	// Name identifies the module in error messages.
+	Name() string
+	// Eval drives combinational outputs. It may be called several times per
+	// cycle and must be idempotent given unchanged inputs.
+	Eval()
+	// Tick commits sequential state at the clock edge.
+	Tick()
+}
+
+// Checker is an invariant evaluated after the combinational fixpoint of each
+// cycle, before the clock edge. A non-nil return aborts the simulation; it is
+// used by protocol checkers.
+type Checker interface {
+	Name() string
+	Check() error
+}
+
+// ErrCombLoop is returned when the combinational network does not settle,
+// indicating an (illegal) combinational feedback loop.
+var ErrCombLoop = errors.New("sim: combinational loop did not settle")
+
+// ErrDeadlock is returned by Run when no channel fires for the configured
+// watchdog window while at least one transaction is pending.
+var ErrDeadlock = errors.New("sim: deadlock (no handshake progress)")
+
+// Simulator owns the clock, all wires, channels and modules of a design.
+type Simulator struct {
+	modules  []Module
+	wires    []*Wire
+	datas    []*Data
+	channels []*Channel
+	checkers []Checker
+
+	cycle    uint64
+	changed  bool
+	maxIters int
+
+	// Watchdog state: cycle of the most recent channel fire.
+	lastFire uint64
+	// WatchdogWindow is the number of consecutive cycles without any
+	// handshake completing after which Run reports ErrDeadlock while a
+	// transaction is in flight. Zero disables the watchdog.
+	WatchdogWindow uint64
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{maxIters: 64, WatchdogWindow: 100000}
+}
+
+// Cycle reports the number of completed clock cycles.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Register adds modules to the simulator. Modules are evaluated and ticked
+// in registration order.
+func (s *Simulator) Register(ms ...Module) {
+	s.modules = append(s.modules, ms...)
+}
+
+// AddChecker installs a per-cycle invariant checker.
+func (s *Simulator) AddChecker(cs ...Checker) {
+	s.checkers = append(s.checkers, cs...)
+}
+
+func (s *Simulator) markChanged() { s.changed = true }
+
+// Step advances the simulation by one clock cycle.
+func (s *Simulator) Step() error {
+	// Phase 1: combinational fixpoint.
+	for iter := 0; ; iter++ {
+		s.changed = false
+		for _, m := range s.modules {
+			m.Eval()
+		}
+		if !s.changed {
+			break
+		}
+		if iter >= s.maxIters {
+			return fmt.Errorf("%w at cycle %d", ErrCombLoop, s.cycle)
+		}
+	}
+	// Invariant checks see the settled network.
+	for _, c := range s.checkers {
+		if err := c.Check(); err != nil {
+			return fmt.Errorf("sim: cycle %d: checker %s: %w", s.cycle, c.Name(), err)
+		}
+	}
+	// Phase 2: clock edge. Latch handshake events, then tick modules.
+	anyFire := false
+	for _, ch := range s.channels {
+		ch.latch()
+		if ch.fired {
+			anyFire = true
+		}
+	}
+	if anyFire {
+		s.lastFire = s.cycle
+	}
+	for _, m := range s.modules {
+		m.Tick()
+	}
+	s.cycle++
+	return nil
+}
+
+// Run steps the simulation until done returns true, the watchdog trips, or
+// maxCycles elapse. It returns the number of cycles executed by this call.
+func (s *Simulator) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	start := s.cycle
+	for s.cycle-start < maxCycles {
+		if done != nil && done() {
+			return s.cycle - start, nil
+		}
+		if err := s.Step(); err != nil {
+			return s.cycle - start, err
+		}
+		if s.WatchdogWindow > 0 && s.anyInFlight() && s.cycle-s.lastFire > s.WatchdogWindow {
+			return s.cycle - start, fmt.Errorf("%w: no fire since cycle %d (now %d)", ErrDeadlock, s.lastFire, s.cycle)
+		}
+	}
+	if done != nil && done() {
+		return s.cycle - start, nil
+	}
+	return s.cycle - start, fmt.Errorf("sim: run did not finish within %d cycles", maxCycles)
+}
+
+func (s *Simulator) anyInFlight() bool {
+	for _, ch := range s.channels {
+		if ch.inFlight {
+			return true
+		}
+	}
+	return false
+}
+
+// Channels returns all channels created on this simulator, in creation order.
+func (s *Simulator) Channels() []*Channel { return s.channels }

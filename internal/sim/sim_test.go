@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func payload(i int) []byte { return []byte{byte(i), byte(i >> 8), 0xab, 0xcd} }
+
+func TestSenderReceiverTransfersAllPayloads(t *testing.T) {
+	s := New()
+	ch := s.NewChannel("ch", 4)
+	snd := NewSender("snd", ch)
+	rcv := NewReceiver("rcv", ch)
+	s.Register(snd, rcv)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		snd.Push(payload(i))
+	}
+	if _, err := s.Run(1000, func() bool { return len(rcv.Received) == n }); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range rcv.Received {
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("payload %d: got %x want %x", i, got, payload(i))
+		}
+	}
+	if ch.Starts() != n || ch.Ends() != n {
+		t.Fatalf("starts=%d ends=%d, want %d", ch.Starts(), ch.Ends(), n)
+	}
+}
+
+func TestBackToBackThroughputIsOnePerCycle(t *testing.T) {
+	s := New()
+	ch := s.NewChannel("ch", 4)
+	snd := NewSender("snd", ch)
+	rcv := NewReceiver("rcv", ch)
+	s.Register(snd, rcv)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		snd.Push(payload(i))
+	}
+	cycles, err := s.Run(1000, func() bool { return len(rcv.Received) == n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cycle to load the first payload, then one transaction per cycle.
+	if cycles > n+2 {
+		t.Fatalf("took %d cycles for %d back-to-back transfers", cycles, n)
+	}
+}
+
+func TestJitteredReceiverStillReceivesInOrder(t *testing.T) {
+	s := New()
+	ch := s.NewChannel("ch", 4)
+	snd := NewSender("snd", ch)
+	rcv := NewReceiver("rcv", ch)
+	rng := NewRand(7)
+	rcv.Policy = JitterPolicy(rng, 30)
+	snd.Gap = GapPolicy(rng, 0, 3)
+	s.Register(snd, rcv)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		snd.Push(payload(i))
+	}
+	if _, err := s.Run(10000, func() bool { return len(rcv.Received) == n }); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range rcv.Received {
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("payload %d out of order: got %x", i, got)
+		}
+	}
+}
+
+func TestFifoPreservesOrderAndBoundsDepth(t *testing.T) {
+	s := New()
+	in := s.NewChannel("in", 4)
+	out := s.NewChannel("out", 4)
+	snd := NewSender("snd", in)
+	fifo := NewFifo("fifo", in, out, 4)
+	rcv := NewReceiver("rcv", out)
+	rng := NewRand(3)
+	rcv.Policy = JitterPolicy(rng, 20)
+	s.Register(snd, fifo, rcv)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		snd.Push(payload(i))
+	}
+	maxDepth := 0
+	for len(rcv.Received) < n {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if fifo.Len() > maxDepth {
+			maxDepth = fifo.Len()
+		}
+		if s.Cycle() > 10000 {
+			t.Fatal("did not finish")
+		}
+	}
+	if maxDepth > 4 {
+		t.Fatalf("fifo exceeded depth: %d", maxDepth)
+	}
+	for i, got := range rcv.Received {
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("payload %d out of order", i)
+		}
+	}
+}
+
+// combLoop is a module that oscillates a wire, which must be detected as a
+// combinational loop.
+type combLoop struct{ w *Wire }
+
+func (c *combLoop) Name() string { return "loop" }
+func (c *combLoop) Eval()        { c.w.Set(!c.w.Get()) }
+func (c *combLoop) Tick()        {}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	s := New()
+	w := s.NewWire("osc")
+	s.Register(&combLoop{w: w})
+	err := s.Step()
+	if !errors.Is(err, ErrCombLoop) {
+		t.Fatalf("got %v, want ErrCombLoop", err)
+	}
+}
+
+func TestDeadlockWatchdog(t *testing.T) {
+	s := New()
+	s.WatchdogWindow = 50
+	ch := s.NewChannel("ch", 4)
+	snd := NewSender("snd", ch)
+	// No receiver: ready stays low, the transaction can never complete.
+	s.Register(snd)
+	snd.Push(payload(1))
+	_, err := s.Run(10000, nil)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+}
+
+func TestChannelEventCountsSingleCycleTransaction(t *testing.T) {
+	s := New()
+	ch := s.NewChannel("ch", 1)
+	snd := NewSender("snd", ch)
+	rcv := NewReceiver("rcv", ch)
+	probe := &eventProbe{ch: ch}
+	s.Register(snd, rcv, probe)
+	snd.Push([]byte{9})
+	if _, err := s.Run(100, func() bool { return len(rcv.Received) == 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if probe.starts != 1 || probe.ends != 1 {
+		t.Fatalf("starts=%d ends=%d, want 1/1", probe.starts, probe.ends)
+	}
+	if !probe.sameCycle {
+		t.Fatal("single-cycle transaction should start and end in the same cycle")
+	}
+}
+
+type eventProbe struct {
+	ch           *Channel
+	starts, ends int
+	sameCycle    bool
+}
+
+func (p *eventProbe) Name() string { return "probe" }
+func (p *eventProbe) Eval()        {}
+func (p *eventProbe) Tick() {
+	if p.ch.StartedNow() {
+		p.starts++
+	}
+	if p.ch.Fired() {
+		p.ends++
+	}
+	if p.ch.StartedNow() && p.ch.Fired() {
+		p.sameCycle = true
+	}
+}
+
+func TestDataSetUint64RoundTrip(t *testing.T) {
+	s := New()
+	f := func(v uint64) bool {
+		d := s.NewData("d", 8)
+		d.SetUint64(v)
+		return d.Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataNarrowBusTruncates(t *testing.T) {
+	s := New()
+	d := s.NewData("d", 2)
+	d.SetUint64(0x1234_5678)
+	if d.Uint64() != 0x5678 {
+		t.Fatalf("got %#x, want 0x5678", d.Uint64())
+	}
+}
+
+func TestDataSetShorterZeroFills(t *testing.T) {
+	s := New()
+	d := s.NewData("d", 4)
+	d.Set([]byte{1, 2, 3, 4})
+	d.Set([]byte{9})
+	want := []byte{9, 0, 0, 0}
+	if !bytes.Equal(d.Get(), want) {
+		t.Fatalf("got %x want %x", d.Get(), want)
+	}
+}
+
+func TestDeterministicReplayOfKernel(t *testing.T) {
+	run := func(seed int64) []string {
+		s := New()
+		ch := s.NewChannel("ch", 4)
+		snd := NewSender("snd", ch)
+		rcv := NewReceiver("rcv", ch)
+		rng := NewRand(seed)
+		rcv.Policy = JitterPolicy(rng, 40)
+		snd.Gap = GapPolicy(rng, 0, 2)
+		s.Register(snd, rcv)
+		for i := 0; i < 20; i++ {
+			snd.Push(payload(i))
+		}
+		var log []string
+		for len(rcv.Received) < 20 {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, fmt.Sprintf("%d:%d", s.Cycle(), len(rcv.Received)))
+		}
+		return log
+	}
+	a, b := run(11), run(11)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic run length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at step %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := run(12)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical timing (jitter not applied)")
+		}
+	}
+}

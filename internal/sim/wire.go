@@ -1,0 +1,118 @@
+package sim
+
+import "bytes"
+
+// Wire is a single-bit signal. Writes take effect immediately within the
+// combinational phase; the simulator re-runs Eval until no wire changes.
+type Wire struct {
+	sim  *Simulator
+	name string
+	val  bool
+}
+
+// NewWire creates a named single-bit wire.
+func (s *Simulator) NewWire(name string) *Wire {
+	w := &Wire{sim: s, name: name}
+	s.wires = append(s.wires, w)
+	return w
+}
+
+// Name returns the wire's name.
+func (w *Wire) Name() string { return w.name }
+
+// Get returns the wire's current value.
+func (w *Wire) Get() bool { return w.val }
+
+// Set drives the wire. A change of value re-triggers the combinational
+// fixpoint.
+func (w *Wire) Set(v bool) {
+	if w.val != v {
+		w.val = v
+		w.sim.markChanged()
+	}
+}
+
+// Data is a multi-byte bus (the DATA payload of a channel, an address bus,
+// and so on). Width is fixed at creation.
+type Data struct {
+	sim   *Simulator
+	name  string
+	width int
+	val   []byte
+}
+
+// NewData creates a named bus of width bytes, initialised to zero.
+func (s *Simulator) NewData(name string, width int) *Data {
+	d := &Data{sim: s, name: name, width: width, val: make([]byte, width)}
+	s.datas = append(s.datas, d)
+	return d
+}
+
+// Name returns the bus's name.
+func (d *Data) Name() string { return d.name }
+
+// Width returns the bus width in bytes.
+func (d *Data) Width() int { return d.width }
+
+// Get returns the bus's current value. The returned slice is the live
+// backing array; callers must not modify it. Use Snapshot for a copy.
+func (d *Data) Get() []byte { return d.val }
+
+// Snapshot returns a copy of the bus's current value.
+func (d *Data) Snapshot() []byte {
+	c := make([]byte, d.width)
+	copy(c, d.val)
+	return c
+}
+
+// Set drives the bus. b is copied; if b is shorter than the bus width the
+// remaining bytes are zeroed. A change of value re-triggers the fixpoint.
+func (d *Data) Set(b []byte) {
+	if len(b) > d.width {
+		b = b[:d.width]
+	}
+	if bytes.Equal(d.val[:len(b)], b) && allZero(d.val[len(b):]) {
+		return
+	}
+	copy(d.val, b)
+	for i := len(b); i < d.width; i++ {
+		d.val[i] = 0
+	}
+	d.sim.markChanged()
+}
+
+// SetUint64 drives the low 8 bytes of the bus little-endian (or fewer if the
+// bus is narrower) and zeroes the rest.
+func (d *Data) SetUint64(v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	n := 8
+	if d.width < n {
+		n = d.width
+	}
+	d.Set(buf[:n])
+}
+
+// Uint64 interprets the low 8 bytes of the bus as a little-endian integer.
+func (d *Data) Uint64() uint64 {
+	var v uint64
+	n := 8
+	if d.width < n {
+		n = d.width
+	}
+	for i := 0; i < n; i++ {
+		v |= uint64(d.val[i]) << (8 * i)
+	}
+	return v
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

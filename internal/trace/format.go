@@ -1,0 +1,260 @@
+package trace
+
+import "fmt"
+
+// Direction classifies a channel relative to the FPGA program at the
+// record/replay boundary.
+type Direction int
+
+const (
+	// Input channels carry transactions from the environment to the FPGA
+	// program (the FPGA is the receiver).
+	Input Direction = iota
+	// Output channels carry transactions from the FPGA program to the
+	// environment (the FPGA is the sender).
+	Output
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Input {
+		return "input"
+	}
+	return "output"
+}
+
+// ChannelInfo describes one monitored channel at the record/replay boundary.
+type ChannelInfo struct {
+	// Name is the fully qualified channel name, e.g. "pcis.W".
+	Name string
+	// Interface is the AXI interface the channel belongs to, e.g. "pcis".
+	Interface string
+	// Width is the payload width in bytes. Contents in the trace have this
+	// fixed size, so no per-content length is stored.
+	Width int
+	// Dir is the channel's direction at the boundary.
+	Dir Direction
+}
+
+// Meta describes the shape of a trace: the monitored channels (in monitor
+// index order) and the recording configuration.
+type Meta struct {
+	Channels []ChannelInfo
+	// ValidateOutputs records the content of each completed output
+	// transaction in addition to its end event, enabling divergence
+	// detection (§3.6). Configurations R2 and R3 of the paper set this.
+	ValidateOutputs bool
+
+	inputIdx  []int // channel index per input index
+	outputIdx []int // channel index per output index
+}
+
+// NewMeta builds a Meta and its input/output index maps.
+func NewMeta(chans []ChannelInfo, validateOutputs bool) *Meta {
+	m := &Meta{Channels: chans, ValidateOutputs: validateOutputs}
+	m.buildIndex()
+	return m
+}
+
+func (m *Meta) buildIndex() {
+	m.inputIdx, m.outputIdx = nil, nil
+	for i, c := range m.Channels {
+		if c.Dir == Input {
+			m.inputIdx = append(m.inputIdx, i)
+		} else {
+			m.outputIdx = append(m.outputIdx, i)
+		}
+	}
+}
+
+// NumChannels returns the total number of monitored channels.
+func (m *Meta) NumChannels() int { return len(m.Channels) }
+
+// NumInputs returns the number of input channels.
+func (m *Meta) NumInputs() int { return len(m.inputIdx) }
+
+// InputChannels returns the channel indices of the input channels, in input
+// index order (the order of bits in a cycle packet's Starts field).
+func (m *Meta) InputChannels() []int { return m.inputIdx }
+
+// OutputChannels returns the channel indices of the output channels.
+func (m *Meta) OutputChannels() []int { return m.outputIdx }
+
+// InputIndex returns the input index of channel ch, or -1 if ch is not an
+// input channel.
+func (m *Meta) InputIndex(ch int) int {
+	for ii, ci := range m.inputIdx {
+		if ci == ch {
+			return ii
+		}
+	}
+	return -1
+}
+
+// ChannelByName returns the index of the named channel, or -1.
+func (m *Meta) ChannelByName(name string) int {
+	for i, c := range m.Channels {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ChannelPacket is the fixed-format message a channel monitor sends to the
+// trace encoder each cycle (§3.1, Fig 5): whether a handshake started on the
+// channel this cycle, the transaction content, and whether a handshake
+// completed this cycle.
+type ChannelPacket struct {
+	Start   bool
+	Content []byte
+	End     bool
+}
+
+// CyclePacket aggregates the channel packets of one clock cycle (§3.2,
+// Fig 5). Starts has one bit per input channel; Ends has one bit per channel
+// (inputs and outputs — including output ends is what lets replay enforce
+// transaction determinism). Contents holds, in order, the content of each
+// input channel that started a handshake this cycle, followed — when
+// ValidateOutputs is set — by the content of each output channel that
+// completed a handshake this cycle.
+type CyclePacket struct {
+	Starts   BitVec
+	Ends     BitVec
+	Contents [][]byte
+}
+
+// NewCyclePacket returns an empty cycle packet shaped for m.
+func NewCyclePacket(m *Meta) CyclePacket {
+	return CyclePacket{
+		Starts: NewBitVec(m.NumInputs()),
+		Ends:   NewBitVec(m.NumChannels()),
+	}
+}
+
+// Empty reports whether the packet carries no events.
+func (p CyclePacket) Empty() bool { return !p.Starts.Any() && !p.Ends.Any() }
+
+// Size returns the serialized size of the packet in bytes given meta m.
+func (p CyclePacket) Size(m *Meta) int {
+	n := ByteLen(m.NumInputs()) + ByteLen(m.NumChannels())
+	for _, c := range p.Contents {
+		n += len(c)
+	}
+	return n
+}
+
+// Copy returns a deep copy of the packet.
+func (p CyclePacket) Copy() CyclePacket {
+	q := CyclePacket{Starts: p.Starts.Copy(), Ends: p.Ends.Copy()}
+	for _, c := range p.Contents {
+		cc := make([]byte, len(c))
+		copy(cc, c)
+		q.Contents = append(q.Contents, cc)
+	}
+	return q
+}
+
+// Trace is a recorded execution: its shape plus the sequence of cycle
+// packets. Only cycles with at least one transaction event produce a packet;
+// idle cycles carry no happens-before information under transaction
+// determinism, which is the source of Vidi's trace-size reduction.
+type Trace struct {
+	Meta    *Meta
+	Packets []CyclePacket
+}
+
+// NewTrace returns an empty trace over m.
+func NewTrace(m *Meta) *Trace { return &Trace{Meta: m} }
+
+// Append adds a cycle packet to the trace.
+func (t *Trace) Append(p CyclePacket) { t.Packets = append(t.Packets, p) }
+
+// SizeBytes returns the total serialized body size of the trace.
+func (t *Trace) SizeBytes() int {
+	n := 0
+	for _, p := range t.Packets {
+		n += p.Size(t.Meta)
+	}
+	return n
+}
+
+// EndCounts returns the number of end events per channel.
+func (t *Trace) EndCounts() []uint64 {
+	counts := make([]uint64, t.Meta.NumChannels())
+	for _, p := range t.Packets {
+		for i := 0; i < p.Ends.Len(); i++ {
+			if p.Ends.Get(i) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// TotalTransactions returns the total number of end events in the trace.
+func (t *Trace) TotalTransactions() uint64 {
+	var n uint64
+	for _, c := range t.EndCounts() {
+		n += c
+	}
+	return n
+}
+
+// Validate performs structural checks: content counts match Starts (and,
+// with ValidateOutputs, output Ends), content widths match channel widths,
+// and per-channel starts/ends alternate legally.
+func (t *Trace) Validate() error {
+	m := t.Meta
+	open := make([]bool, m.NumChannels())
+	for pi, p := range t.Packets {
+		want := 0
+		for ii, ci := range m.InputChannels() {
+			if p.Starts.Get(ii) {
+				if open[ci] {
+					return fmt.Errorf("trace: packet %d: channel %s starts while in flight", pi, m.Channels[ci].Name)
+				}
+				open[ci] = true
+				want++
+			}
+		}
+		for ci := 0; ci < m.NumChannels(); ci++ {
+			if !p.Ends.Get(ci) {
+				continue
+			}
+			if m.Channels[ci].Dir == Input && !open[ci] {
+				return fmt.Errorf("trace: packet %d: input channel %s ends while idle", pi, m.Channels[ci].Name)
+			}
+			open[ci] = false
+			if m.ValidateOutputs && m.Channels[ci].Dir == Output {
+				want++
+			}
+		}
+		if len(p.Contents) != want {
+			return fmt.Errorf("trace: packet %d: %d contents, want %d", pi, len(p.Contents), want)
+		}
+		// Width check, in the serialization order of contents.
+		k := 0
+		for ii, ci := range m.InputChannels() {
+			if p.Starts.Get(ii) {
+				if len(p.Contents[k]) != m.Channels[ci].Width {
+					return fmt.Errorf("trace: packet %d: content %d has %d bytes, channel %s is %d wide",
+						pi, k, len(p.Contents[k]), m.Channels[ci].Name, m.Channels[ci].Width)
+				}
+				k++
+			}
+		}
+		if m.ValidateOutputs {
+			for _, ci := range m.OutputChannels() {
+				if p.Ends.Get(ci) {
+					if len(p.Contents[k]) != m.Channels[ci].Width {
+						return fmt.Errorf("trace: packet %d: output content has %d bytes, channel %s is %d wide",
+							pi, len(p.Contents[k]), m.Channels[ci].Name, m.Channels[ci].Width)
+					}
+					k++
+				}
+			}
+		}
+	}
+	return nil
+}

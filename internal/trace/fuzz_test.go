@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the trace decoder; it must never
+// panic — every malformed input yields an error (or, for valid inputs, a
+// structurally consistent trace).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid traces and near-valid corruptions.
+	m := NewMeta([]ChannelInfo{
+		{Name: "a", Width: 4, Dir: Input},
+		{Name: "b", Width: 2, Dir: Output},
+	}, true)
+	tr := NewTrace(m)
+	p := NewCyclePacket(m)
+	p.Starts.Set(0)
+	p.Ends.Set(0)
+	p.Ends.Set(1)
+	p.Contents = [][]byte{{1, 2, 3, 4}, {5, 6}}
+	tr.Append(p)
+	valid := tr.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("VIDT"))
+	f.Add([]byte{})
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		c := append([]byte(nil), valid...)
+		c[rng.Intn(len(c))] ^= byte(1 << rng.Intn(8))
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded trace must be internally navigable
+		// without panicking.
+		_ = got.SizeBytes()
+		_ = got.TotalTransactions()
+		_ = got.Events()
+		_ = got.Summary()
+		for ci := range got.Meta.Channels {
+			_ = got.Transactions(ci)
+		}
+	})
+}
+
+// TestDecodeCorruptionMatrix flips every byte of a valid trace one at a
+// time (deterministic, unlike the fuzzer's default run) and requires
+// error-or-consistency for each corruption.
+func TestDecodeCorruptionMatrix(t *testing.T) {
+	m := testMeta(true)
+	tr := randTrace(t, 5, true, 30)
+	valid := tr.Bytes()
+	for i := range valid {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0xff
+		got, err := FromBytes(c)
+		if err != nil {
+			continue
+		}
+		// Decoded despite corruption (flip landed in content bytes or a
+		// tolerated field): must still be navigable.
+		_ = got.Events()
+		_ = got.TotalTransactions()
+		for ci := range got.Meta.Channels {
+			_ = got.Transactions(ci)
+		}
+	}
+	_ = m
+}

@@ -1,0 +1,143 @@
+package trace
+
+import "fmt"
+
+// EventKind distinguishes transaction start and end events.
+type EventKind int
+
+const (
+	// StartEvent marks the first cycle of a handshake.
+	StartEvent EventKind = iota
+	// EndEvent marks the cycle in which VALID and READY are both high.
+	EndEvent
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == StartEvent {
+		return "start"
+	}
+	return "end"
+}
+
+// Event is one transaction event reconstructed from a trace.
+type Event struct {
+	// Packet is the index of the cycle packet carrying the event.
+	Packet int
+	// Channel is the monitored channel index.
+	Channel int
+	// Kind is start or end.
+	Kind EventKind
+	// Content is the transaction content when the trace carries it: input
+	// starts always, output ends when ValidateOutputs is set.
+	Content []byte
+	// Ordinal is the per-channel, per-kind ordinal of this event (the n-th
+	// start or n-th end on Channel), counted from 0.
+	Ordinal uint64
+}
+
+// Events flattens the trace into its transaction events in trace order.
+// Events within one cycle packet are simultaneous in wall-clock terms; they
+// are listed starts-first then ends, each in channel index order, which is
+// the canonical intra-cycle order used throughout the tooling.
+func (t *Trace) Events() []Event {
+	m := t.Meta
+	var out []Event
+	startOrd := make([]uint64, m.NumChannels())
+	endOrd := make([]uint64, m.NumChannels())
+	for pi, p := range t.Packets {
+		k := 0
+		for ii, ci := range m.InputChannels() {
+			if p.Starts.Get(ii) {
+				out = append(out, Event{Packet: pi, Channel: ci, Kind: StartEvent, Content: p.Contents[k], Ordinal: startOrd[ci]})
+				startOrd[ci]++
+				k++
+			}
+		}
+		// Output contents, when present, follow the input-start contents.
+		outContent := map[int][]byte{}
+		if m.ValidateOutputs {
+			for _, ci := range m.OutputChannels() {
+				if p.Ends.Get(ci) {
+					outContent[ci] = p.Contents[k]
+					k++
+				}
+			}
+		}
+		for ci := 0; ci < m.NumChannels(); ci++ {
+			if p.Ends.Get(ci) {
+				out = append(out, Event{Packet: pi, Channel: ci, Kind: EndEvent, Content: outContent[ci], Ordinal: endOrd[ci]})
+				endOrd[ci]++
+			}
+		}
+	}
+	return out
+}
+
+// Txn is one reconstructed transaction.
+type Txn struct {
+	Channel     int
+	Ordinal     uint64 // per-channel transaction number, from 0
+	StartPacket int    // -1 when the trace does not record starts (outputs)
+	EndPacket   int    // -1 when the transaction never completed
+	Content     []byte // nil when the trace does not carry content
+}
+
+// Transactions reconstructs the transactions of channel ch in order.
+func (t *Trace) Transactions(ch int) []Txn {
+	var out []Txn
+	openIdx := -1
+	for _, ev := range t.Events() {
+		if ev.Channel != ch {
+			continue
+		}
+		switch ev.Kind {
+		case StartEvent:
+			out = append(out, Txn{Channel: ch, Ordinal: uint64(len(out)), StartPacket: ev.Packet, EndPacket: -1, Content: ev.Content})
+			openIdx = len(out) - 1
+		case EndEvent:
+			if openIdx >= 0 && out[openIdx].EndPacket == -1 {
+				out[openIdx].EndPacket = ev.Packet
+				openIdx = -1
+			} else {
+				// Output channels record ends only.
+				out = append(out, Txn{Channel: ch, Ordinal: uint64(len(out)), StartPacket: -1, EndPacket: ev.Packet, Content: ev.Content})
+			}
+		}
+	}
+	return out
+}
+
+// EndEvents returns the trace's end events in order, across all channels.
+// This sequence defines the happens-before order that transaction
+// determinism preserves.
+func (t *Trace) EndEvents() []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Kind == EndEvent {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FindEnd locates the packet index of the n-th end event (0-based) on
+// channel ch, or -1 if the trace has fewer.
+func (t *Trace) FindEnd(ch int, n uint64) int {
+	for _, ev := range t.EndEvents() {
+		if ev.Channel == ch && ev.Ordinal == n {
+			return ev.Packet
+		}
+	}
+	return -1
+}
+
+// Summary returns a human-readable per-channel transaction count summary.
+func (t *Trace) Summary() string {
+	counts := t.EndCounts()
+	s := fmt.Sprintf("%d cycle packets, %d bytes, %d transactions\n", len(t.Packets), t.SizeBytes(), t.TotalTransactions())
+	for i, c := range t.Meta.Channels {
+		s += fmt.Sprintf("  [%2d] %-16s %-6s width=%-3d ends=%d\n", i, c.Name, c.Dir, c.Width, counts[i])
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+// Package vclock implements the logical vector clocks Vidi's channel
+// replayers use to enforce transaction determinism (§3.5 of the paper).
+//
+// A clock associates one counter per channel; entry i counts the number of
+// completed transactions on the i-th channel. Happens-before relations
+// between transaction events are enforced by comparing clocks under the
+// pointwise partial order ≥.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a logical timestamp with one entry per channel.
+type Clock []uint64
+
+// New returns a zero clock over n channels.
+func New(n int) Clock { return make(Clock, n) }
+
+// Len returns the number of channels the clock covers.
+func (c Clock) Len() int { return len(c) }
+
+// Copy returns an independent copy of c.
+func (c Clock) Copy() Clock {
+	d := make(Clock, len(c))
+	copy(d, c)
+	return d
+}
+
+// Inc increments the counter for channel i.
+func (c Clock) Inc(i int) { c[i]++ }
+
+// Add increases the counter for channel i by n.
+func (c Clock) Add(i int, n uint64) { c[i] += n }
+
+// Geq reports whether c ≥ o pointwise. Clocks of different lengths are
+// incomparable and Geq returns false.
+func (c Clock) Geq(o Clock) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether c and o are identical.
+func (c Clock) Equal(o Clock) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge sets c to the pointwise maximum of c and o. The clocks must have the
+// same length.
+func (c Clock) Merge(o Clock) {
+	if len(c) != len(o) {
+		panic(fmt.Sprintf("vclock: merge of mismatched clocks (%d vs %d)", len(c), len(o)))
+	}
+	for i := range c {
+		if o[i] > c[i] {
+			c[i] = o[i]
+		}
+	}
+}
+
+// Concurrent reports whether neither c ≥ o nor o ≥ c holds, i.e. the two
+// timestamps are causally unordered.
+func (c Clock) Concurrent(o Clock) bool {
+	return !c.Geq(o) && !o.Geq(c)
+}
+
+// String renders the clock as ⟨t1, t2, ...⟩.
+func (c Clock) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, v := range c {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("⟩")
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroClocksAreEqualAndOrdered(t *testing.T) {
+	a, b := New(4), New(4)
+	if !a.Geq(b) || !b.Geq(a) || !a.Equal(b) {
+		t.Fatal("zero clocks should be equal and mutually ≥")
+	}
+}
+
+func TestIncMakesStrictlyGreater(t *testing.T) {
+	a := New(3)
+	b := a.Copy()
+	b.Inc(1)
+	if !b.Geq(a) {
+		t.Fatal("b should be ≥ a after Inc")
+	}
+	if a.Geq(b) {
+		t.Fatal("a should not be ≥ b after b.Inc")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a, b := New(2), New(2)
+	a.Inc(0)
+	b.Inc(1)
+	if !a.Concurrent(b) {
+		t.Fatalf("%v and %v should be concurrent", a, b)
+	}
+}
+
+func TestMismatchedLengthsIncomparable(t *testing.T) {
+	a, b := New(2), New(3)
+	if a.Geq(b) || b.Geq(a) || a.Equal(b) {
+		t.Fatal("clocks of different lengths must be incomparable")
+	}
+}
+
+func TestMergePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge of mismatched clocks should panic")
+		}
+	}()
+	New(2).Merge(New(3))
+}
+
+func TestString(t *testing.T) {
+	c := New(3)
+	c.Inc(0)
+	c.Add(2, 5)
+	if got, want := c.String(), "⟨1, 0, 5⟩"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func randClock(r *rand.Rand, n int) Clock {
+	c := New(n)
+	for i := range c {
+		c[i] = uint64(r.Intn(5))
+	}
+	return c
+}
+
+// Property: Merge produces an upper bound of both operands.
+func TestMergeIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randClock(r, 6), randClock(r, 6)
+		m := a.Copy()
+		m.Merge(b)
+		return m.Geq(a) && m.Geq(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge is the LEAST upper bound: any c ≥ a and ≥ b is ≥ merge(a,b).
+func TestMergeIsLeastUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randClock(r, 6), randClock(r, 6)
+		m := a.Copy()
+		m.Merge(b)
+		c := m.Copy()
+		// Any clock ≥ both a and b, built by adding arbitrary slack to m.
+		for i := range c {
+			c[i] += uint64(r.Intn(3))
+		}
+		return c.Geq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Geq is a partial order — reflexive, antisymmetric, transitive.
+func TestGeqPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randClock(r, 5), randClock(r, 5), randClock(r, 5)
+		if !a.Geq(a) {
+			return false
+		}
+		if a.Geq(b) && b.Geq(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Geq(b) && b.Geq(c) && !a.Geq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: monotonicity — advancing any entry preserves Geq over the old value.
+func TestIncMonotone(t *testing.T) {
+	f := func(seed int64, idx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randClock(r, 5)
+		b := a.Copy()
+		b.Inc(int(idx) % 5)
+		return b.Geq(a) && !a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := New(2)
+	b := a.Copy()
+	b.Inc(0)
+	if a[0] != 0 {
+		t.Fatal("copy aliases original")
+	}
+}

@@ -1,0 +1,216 @@
+// Package vidi is a record/replay system for reconfigurable hardware,
+// reproducing "Vidi: Record Replay for Reconfigurable Hardware"
+// (Zuo, Ma, Quinn, Kasikci — ASPLOS 2023) on a cycle-accurate FPGA
+// simulation substrate written in pure Go.
+//
+// Vidi records the transactions that cross a user-defined boundary between
+// an FPGA program and its environment — coarse-grained input recording —
+// and replays them while enforcing transaction determinism: every recorded
+// happens-before relation between transaction end events and other
+// transaction events is preserved, using per-channel replayers coordinated
+// by vector clocks.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/sim      — the clocked simulation kernel (the "FPGA")
+//   - internal/axi      — AXI/AXI-Lite interfaces, engines, protocol checker
+//   - internal/shell    — the AWS-F1-like platform (CPU agent, PCIe, DRAM)
+//   - internal/core     — Vidi itself: monitors, encoder, store, decoder,
+//     replayers, divergence detection, trace mutation
+//   - internal/trace    — trace formats and serialization
+//   - internal/apps     — the ten evaluation applications
+//   - internal/bugs     — the two case-study designs
+//   - internal/baseline — cycle-accurate and order-less baselines
+//   - internal/resource — the FPGA area model
+//   - internal/eval     — the experiment harness (Tables 1–2, Fig 7, §5.4, §6)
+//
+// Quick start:
+//
+//	rec, err := vidi.Record("sha", vidi.WithSeed(42))
+//	rep, err := vidi.Replay("sha", rec.Trace)
+//	report, err := vidi.Validate(rec.Trace, rep.Trace)
+//	fmt.Println(report) // "no divergences in 820 transactions"
+package vidi
+
+import (
+	"vidi/internal/apps"
+	"vidi/internal/axi"
+	"vidi/internal/core"
+	"vidi/internal/eval"
+	"vidi/internal/shell"
+	"vidi/internal/sim"
+	"vidi/internal/trace"
+)
+
+// Re-exported core types. The facade keeps user code free of internal
+// import paths.
+type (
+	// Trace is a recorded execution.
+	Trace = trace.Trace
+	// Report is a divergence-detection result.
+	Report = core.Report
+	// Divergence is one record/replay difference.
+	Divergence = core.Divergence
+	// Boundary declares the monitored channels of a custom design.
+	Boundary = core.Boundary
+	// Shim is a deployed Vidi instance over a boundary.
+	Shim = core.Shim
+	// ShimOptions configures a Shim (mode, buffers, ablations).
+	ShimOptions = core.Options
+	// System is the F1-like platform instance.
+	System = shell.System
+	// SystemConfig sizes a System.
+	SystemConfig = shell.Config
+	// Simulator is the cycle-accurate simulation kernel.
+	Simulator = sim.Simulator
+	// Channel is a VALID/READY handshake channel.
+	Channel = sim.Channel
+	// Module is a simulated hardware block.
+	Module = sim.Module
+	// Interface is a five-channel AXI interface.
+	Interface = axi.Interface
+	// ChannelInfo describes one monitored channel.
+	ChannelInfo = trace.ChannelInfo
+)
+
+// Shim modes.
+const (
+	ModeOff    = core.ModeOff
+	ModeRecord = core.ModeRecord
+	ModeReplay = core.ModeReplay
+)
+
+// Channel directions at the boundary.
+const (
+	Input  = trace.Input
+	Output = trace.Output
+)
+
+// Constructors re-exported for building custom designs (see
+// examples/quickstart).
+var (
+	// NewSimulator creates a simulation kernel.
+	NewSimulator = sim.New
+	// NewSystem builds an F1-like platform instance.
+	NewSystem = shell.NewSystem
+	// NewBoundary creates an empty record/replay boundary.
+	NewBoundary = core.NewBoundary
+	// NewShim deploys Vidi over a boundary.
+	NewShim = core.NewShim
+	// Compare runs divergence detection over a reference and a validation
+	// trace (§3.6).
+	Compare = core.Compare
+	// Diagnose points a divergence report at its likely cycle-dependent
+	// root cause (§3.6's automated workflow).
+	Diagnose = core.Diagnose
+	// MoveEndBefore reorders a trace's transaction end events (§5.3).
+	MoveEndBefore = core.MoveEndBefore
+	// SwapEnds exchanges two end events.
+	SwapEnds = core.SwapEnds
+	// LoadTrace reads a trace file.
+	LoadTrace = trace.Load
+	// Apps lists the bundled evaluation applications.
+	Apps = apps.Names
+
+	// Building blocks for custom designs and environments.
+	NewSender    = sim.NewSender
+	NewReceiver  = sim.NewReceiver
+	NewRand      = sim.NewRand
+	GapPolicy    = sim.GapPolicy
+	JitterPolicy = sim.JitterPolicy
+)
+
+// Sender and Receiver drive/accept transactions on a channel; they model
+// the jittered environment around a design under test.
+type (
+	Sender   = sim.Sender
+	Receiver = sim.Receiver
+)
+
+// Result is the outcome of a Record or Replay run on a bundled application.
+type Result struct {
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Trace is the recorded trace (the reference trace for Record, the
+	// validation trace for Replay).
+	Trace *Trace
+	// GoldenErr is the application's golden-model verdict (Record only).
+	GoldenErr error
+}
+
+// Option configures Record/Replay runs.
+type Option func(*eval.RunConfig)
+
+// WithSeed sets the environment-timing seed (the non-determinism source).
+func WithSeed(seed int64) Option {
+	return func(rc *eval.RunConfig) { rc.Seed = seed }
+}
+
+// WithScale multiplies the application workload size.
+func WithScale(scale int) Option {
+	return func(rc *eval.RunConfig) { rc.Scale = scale }
+}
+
+// WithStoreAndForward selects the conservative monitor (ablation).
+func WithStoreAndForward() Option {
+	return func(rc *eval.RunConfig) { rc.StoreAndForward = true }
+}
+
+// WithBufferBytes overrides the encoder staging-buffer size.
+func WithBufferBytes(n int) Option {
+	return func(rc *eval.RunConfig) { rc.BufBytes = n }
+}
+
+// WithOnlyInterfaces restricts Vidi to the named shell interfaces — the
+// paper's reduced-overhead deployment for applications that do not use the
+// whole shell. Use the same selection when replaying the resulting trace.
+func WithOnlyInterfaces(ifaces ...string) Option {
+	return func(rc *eval.RunConfig) { rc.OnlyInterfaces = ifaces }
+}
+
+// Record runs the named bundled application with recording enabled
+// (configuration R2 of the paper) and returns the reference trace.
+func Record(app string, opts ...Option) (*Result, error) {
+	rc := eval.RunConfig{App: app, Scale: 1, Cfg: eval.R2}
+	for _, o := range opts {
+		o(&rc)
+	}
+	res, err := eval.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: res.Cycles, Trace: res.Trace, GoldenErr: res.CheckErr}, nil
+}
+
+// RunNative runs the named application with Vidi transparent (configuration
+// R1), for overhead comparisons.
+func RunNative(app string, opts ...Option) (*Result, error) {
+	rc := eval.RunConfig{App: app, Scale: 1, Cfg: eval.R1}
+	for _, o := range opts {
+		o(&rc)
+	}
+	res, err := eval.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: res.Cycles, GoldenErr: res.CheckErr}, nil
+}
+
+// Replay re-executes the named application against a recorded trace
+// (configuration R3: the replayed run is itself recorded, producing the
+// validation trace used for divergence detection).
+func Replay(app string, tr *Trace, opts ...Option) (*Result, error) {
+	rc := eval.RunConfig{App: app, Scale: 1, Cfg: eval.R3, ReplayTrace: tr}
+	for _, o := range opts {
+		o(&rc)
+	}
+	res, err := eval.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: res.Cycles, Trace: res.Trace}, nil
+}
+
+// Validate compares a reference trace against the validation trace of its
+// replay and reports divergences (§3.6, §5.4).
+func Validate(ref, val *Trace) (*Report, error) { return core.Compare(ref, val) }

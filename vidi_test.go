@@ -1,0 +1,104 @@
+package vidi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRecordReplayValidate(t *testing.T) {
+	rec, err := Record("sha", WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GoldenErr != nil {
+		t.Fatalf("golden check: %v", rec.GoldenErr)
+	}
+	if rec.Trace == nil || rec.Trace.TotalTransactions() == 0 {
+		t.Fatal("no trace recorded")
+	}
+	rep, err := Replay("sha", rec.Trace, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Validate(rec.Trace, rep.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("sha replay diverged:\n%s", report)
+	}
+}
+
+func TestFacadeNativeVsRecord(t *testing.T) {
+	nat, err := RunNative("bnn", WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Record("bnn", WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles < nat.Cycles {
+		t.Logf("note: recording ran in fewer cycles (%d vs %d)", rec.Cycles, nat.Cycles)
+	}
+	overhead := 100 * (float64(rec.Cycles) - float64(nat.Cycles)) / float64(nat.Cycles)
+	if overhead > 25 {
+		t.Fatalf("overhead %.1f%% implausible", overhead)
+	}
+}
+
+func TestFacadeTraceFileRoundTrip(t *testing.T) {
+	rec, err := Record("render3d", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/r3d.vidt"
+	if err := rec.Trace.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay("render3d", tr, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Validate(rec.Trace, rep.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("replay from file diverged:\n%s", report)
+	}
+}
+
+func TestFacadeMutation(t *testing.T) {
+	rec, err := Record("dma-irq", WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rec.Trace.TotalTransactions()
+	if err := MoveEndBefore(rec.Trace, "ocl.B", 3, "ocl.B", 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace.TotalTransactions() != before {
+		t.Fatal("mutation changed the transaction count")
+	}
+}
+
+func TestFacadeAppsListing(t *testing.T) {
+	names := Apps()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"dma", "sssp", "sha", "mnet"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing app %q in %v", want, names)
+		}
+	}
+}
+
+func TestFacadeUnknownApp(t *testing.T) {
+	if _, err := Record("not-an-app"); err == nil {
+		t.Fatal("expected error")
+	}
+}
