@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench tables examples fuzz clean
+.PHONY: all build vet test test-short test-race ci bench tables examples fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+# The exact sequence CI runs (.github/workflows/ci.yml).
+ci: build vet test-short test-race
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 bench:

@@ -9,6 +9,7 @@
 //	vidi-bench -fig 7              # Fig 7: resource scaling vs width
 //	vidi-bench -table effectiveness  # §5.4 divergence experiment
 //	vidi-bench -table bandwidth      # §6 back-of-the-envelope analysis
+//	vidi-bench -table faults         # fault-injection resilience matrix
 //	vidi-bench -all
 package main
 
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth")
+	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth, faults")
 	fig := flag.String("fig", "", "figure to regenerate: 7")
 	all := flag.Bool("all", false, "regenerate everything")
 	scale := flag.Int("scale", 1, "workload scale factor")
@@ -75,6 +76,16 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(eval.FormatEffectiveness(rows))
+		fmt.Println()
+	}
+	if *all || *table == "faults" {
+		ran = true
+		fmt.Println("== Fault-injection resilience matrix ==")
+		rows, err := eval.FaultMatrix(eval.DefaultFaultApps(), *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatFaultMatrix(rows))
 		fmt.Println()
 	}
 	if *all || *table == "bandwidth" {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"vidi/internal/sim"
 	"vidi/internal/trace"
 )
 
@@ -85,6 +87,65 @@ func Diagnose(rep *Report, ref *trace.Trace) []Finding {
 	return findings
 }
 
+// DiagnoseRunError interprets a simulation error — a structured deadlock, a
+// permanent store transport fault, or trace corruption — into findings that
+// name the failing component instead of leaving the developer with a bare
+// error string.
+func DiagnoseRunError(err error) []Finding {
+	if err == nil {
+		return nil
+	}
+	var dl *sim.DeadlockError
+	if errors.As(err, &dl) {
+		var findings []Finding
+		if len(dl.Stuck) == 0 {
+			findings = append(findings, Finding{
+				Kind:    DeadlockSuspect,
+				Channel: "(none in flight)",
+				Detail: fmt.Sprintf("no handshake fired since cycle %d and no channel is in flight; "+
+					"the design is idle-wedged (e.g. the CPU agent or a DMA engine stopped issuing work)", dl.LastFire),
+			})
+			return findings
+		}
+		for _, ch := range dl.Stuck {
+			findings = append(findings, Finding{
+				Kind:    DeadlockSuspect,
+				Channel: ch.Name,
+				Count:   1,
+				Detail: fmt.Sprintf("handshake started at cycle %d and never completed (watchdog at cycle %d); "+
+					"the receiver is withholding READY — check back-pressure on this channel's path", ch.Since, dl.Cycle),
+			})
+		}
+		return findings
+	}
+	var sf *StoreFaultError
+	if errors.As(err, &sf) {
+		return []Finding{{
+			Kind:    StoreFault,
+			Channel: "trace-store",
+			Count:   sf.Attempts,
+			Detail: fmt.Sprintf("storage transport failed %d consecutive transfers (retry budget exhausted at "+
+				"store cycle %d); the outage exceeds what retry-with-backoff can ride out — "+
+				"record with degraded mode or repair the link", sf.Attempts, sf.Cycle),
+		}}
+	}
+	if errors.Is(err, trace.ErrCorrupt) {
+		return []Finding{{
+			Kind:    CorruptTrace,
+			Channel: "trace",
+			Count:   1,
+			Detail: fmt.Sprintf("trace failed integrity checks (%v); the CRC framing caught transport or "+
+				"storage corruption — re-record rather than replaying a damaged trace", err),
+		}}
+	}
+	return []Finding{{
+		Kind:    Unexplained,
+		Channel: "run",
+		Count:   1,
+		Detail:  fmt.Sprintf("run failed: %v", err),
+	}}
+}
+
 // FindingKind classifies a diagnosis.
 type FindingKind int
 
@@ -93,6 +154,13 @@ const (
 	PollingSuspect FindingKind = iota
 	DownstreamEffect
 	Unexplained
+	// DeadlockSuspect names a channel left in flight when the simulation
+	// watchdog fired.
+	DeadlockSuspect
+	// StoreFault reports a permanent trace-store transport failure.
+	StoreFault
+	// CorruptTrace reports a trace that failed its CRC integrity checks.
+	CorruptTrace
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +170,12 @@ func (k FindingKind) String() string {
 		return "polling-suspect"
 	case DownstreamEffect:
 		return "downstream-effect"
+	case DeadlockSuspect:
+		return "deadlock-suspect"
+	case StoreFault:
+		return "store-fault"
+	case CorruptTrace:
+		return "corrupt-trace"
 	default:
 		return "unexplained"
 	}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vidi/internal/sim"
+	"vidi/internal/trace"
+)
+
+func TestDiagnoseRunErrorDeadlock(t *testing.T) {
+	err := fmt.Errorf("run: %w", &sim.DeadlockError{
+		LastFire: 100, Cycle: 250,
+		Stuck: []sim.StuckChannel{{Name: "pcis.W", Since: 120}, {Name: "ocl.B", Since: 130}},
+	})
+	fs := DiagnoseRunError(err)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %d, want 2 (one per stuck channel)", len(fs))
+	}
+	if fs[0].Kind != DeadlockSuspect || fs[0].Channel != "pcis.W" {
+		t.Fatalf("first finding: %+v", fs[0])
+	}
+	if !strings.Contains(fs[0].Detail, "cycle 120") {
+		t.Fatalf("finding does not carry the start cycle: %q", fs[0].Detail)
+	}
+}
+
+func TestDiagnoseRunErrorEmptyDeadlock(t *testing.T) {
+	fs := DiagnoseRunError(&sim.DeadlockError{LastFire: 5, Cycle: 99})
+	if len(fs) != 1 || fs[0].Kind != DeadlockSuspect {
+		t.Fatalf("findings: %+v", fs)
+	}
+}
+
+func TestDiagnoseRunErrorCorrupt(t *testing.T) {
+	_, err := trace.FromBytes([]byte("not a trace"))
+	fs := DiagnoseRunError(err)
+	if len(fs) != 1 || fs[0].Kind != CorruptTrace {
+		t.Fatalf("findings: %+v", fs)
+	}
+}
+
+func TestDiagnoseRunErrorNilAndUnknown(t *testing.T) {
+	if fs := DiagnoseRunError(nil); fs != nil {
+		t.Fatalf("nil error produced findings: %+v", fs)
+	}
+	fs := DiagnoseRunError(fmt.Errorf("boom"))
+	if len(fs) != 1 || fs[0].Kind != Unexplained {
+		t.Fatalf("findings: %+v", fs)
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"vidi/internal/trace"
 )
 
+// DefaultStallBudget is the number of consecutive back-pressured cycles the
+// encoder tolerates before degraded recording goes lossy.
+const DefaultStallBudget = 64
+
 // Encoder is Vidi's trace encoder (§3.2). Each cycle it aggregates the
 // channel packets pushed by the monitors into a cycle packet — Starts and
 // Ends bit-vectors plus the tree-compacted contents — serializes it, and
@@ -14,6 +18,14 @@ import (
 // CanAccept before starting a transaction, and eager end reservations
 // guarantee that an in-flight transaction's end event can always be logged
 // in the cycle it happens.
+//
+// With Degraded set, sustained back-pressure (more than StallBudget
+// consecutive cycles with a denied monitor) switches the encoder into lossy
+// mode: output end contents are shed while every Starts/Ends bit and all
+// input contents are still recorded, so replay stays exact and only
+// divergence-detection coverage is lost. The affected packets carry the
+// Lossy gap marker; the encoder leaves lossy mode once the staging buffer
+// has drained back below a quarter of its capacity.
 type Encoder struct {
 	meta  *trace.Meta
 	store *Store
@@ -27,9 +39,11 @@ type Encoder struct {
 	curEnds     []bool
 	curContents [][]byte // per channel; compacted at end of cycle
 
-	// endReserved and startReserved track which channels hold reservations.
-	endReserved   []bool
-	startReserved []bool
+	// Outstanding reservation sizes per channel. Held as byte amounts, not
+	// booleans, so a release returns exactly what was reserved even when a
+	// lossy-mode switch changed the channel's need in between.
+	endResv   []int
+	startResv []int
 
 	// EmitIdlePackets records a cycle packet even for cycles without any
 	// transaction event. It is the ablation of Vidi's event-only encoding:
@@ -37,11 +51,28 @@ type Encoder struct {
 	// timestamped design would.
 	EmitIdlePackets bool
 
+	// Degraded enables graceful degradation: instead of back-pressuring the
+	// application indefinitely when the store cannot keep up, recording goes
+	// lossy after StallBudget consecutive denied cycles.
+	Degraded bool
+	// StallBudget is the denied-cycle streak tolerated before going lossy.
+	// Zero selects DefaultStallBudget.
+	StallBudget int
+
+	lossy           bool
+	stallStreak     int
+	deniedThisCycle bool
+
 	// The structured trace, for offline tooling and replay.
 	rec *trace.Trace
 
 	// Stats.
 	Denials uint64 // CanAccept refusals (a cycle may be counted repeatedly)
+	// GapCount is the number of distinct lossy gaps entered.
+	GapCount uint64
+	// UnrecordedEnds counts output end events whose contents were shed in
+	// lossy mode — the "N transactions unrecorded (degraded)" of the report.
+	UnrecordedEnds uint64
 }
 
 // NewEncoder creates an encoder over meta feeding store, with a staging
@@ -49,15 +80,15 @@ type Encoder struct {
 func NewEncoder(meta *trace.Meta, store *Store, bufBytes int) *Encoder {
 	n := meta.NumChannels()
 	return &Encoder{
-		meta:          meta,
-		store:         store,
-		bufBytes:      bufBytes,
-		curStarts:     make([]bool, n),
-		curEnds:       make([]bool, n),
-		curContents:   make([][]byte, n),
-		endReserved:   make([]bool, n),
-		startReserved: make([]bool, n),
-		rec:           trace.NewTrace(meta),
+		meta:        meta,
+		store:       store,
+		bufBytes:    bufBytes,
+		curStarts:   make([]bool, n),
+		curEnds:     make([]bool, n),
+		curContents: make([][]byte, n),
+		endResv:     make([]int, n),
+		startResv:   make([]int, n),
+		rec:         trace.NewTrace(meta),
 	}
 }
 
@@ -78,10 +109,13 @@ func (e *Encoder) startNeed(ci int) int {
 	return n
 }
 
-// endNeed is the worst-case bytes an end event on channel ci adds.
+// endNeed is the worst-case bytes an end event on channel ci adds. In lossy
+// mode output contents are shed, so an output end costs only header space —
+// this shrinking demand is what lets degraded recording relieve
+// back-pressure instead of wedging the application.
 func (e *Encoder) endNeed(ci int) int {
 	n := e.headerBytes()
-	if e.meta.ValidateOutputs && e.meta.Channels[ci].Dir == trace.Output {
+	if e.meta.ValidateOutputs && !e.lossy && e.meta.Channels[ci].Dir == trace.Output {
 		n += e.meta.Channels[ci].Width
 	}
 	return n
@@ -98,6 +132,16 @@ func (e *Encoder) safetyMargin() int {
 	return n
 }
 
+func (e *Encoder) stallBudget() int {
+	if e.StallBudget > 0 {
+		return e.StallBudget
+	}
+	return DefaultStallBudget
+}
+
+// Lossy reports whether the encoder is currently in lossy (gap) mode.
+func (e *Encoder) Lossy() bool { return e.lossy }
+
 // CanAccept reports whether channel ci's monitor may begin a new transaction
 // this cycle. It reads only registered state, so it is stable within a cycle
 // and safe to consult from Eval. When it returns false the monitor withholds
@@ -107,6 +151,7 @@ func (e *Encoder) CanAccept(ci int) bool {
 	ok := free >= e.startNeed(ci)+e.endNeed(ci)+e.safetyMargin()
 	if !ok {
 		e.Denials++
+		e.deniedThisCycle = true
 	}
 	return ok
 }
@@ -116,27 +161,27 @@ func (e *Encoder) CanAccept(ci int) bool {
 func (e *Encoder) LogStart(ci int, content []byte) {
 	e.curStarts[ci] = true
 	e.curContents[ci] = content
-	if e.startReserved[ci] {
-		e.startReserved[ci] = false
-		e.reserved -= e.startNeed(ci)
+	if e.startResv[ci] > 0 {
+		e.reserved -= e.startResv[ci]
+		e.startResv[ci] = 0
 	}
 }
 
 // ReserveStart pre-allocates space for an upcoming start event (the
 // store-and-forward monitor secures it one cycle ahead).
 func (e *Encoder) ReserveStart(ci int) {
-	if !e.startReserved[ci] {
-		e.startReserved[ci] = true
-		e.reserved += e.startNeed(ci)
+	if e.startResv[ci] == 0 {
+		e.startResv[ci] = e.startNeed(ci)
+		e.reserved += e.startResv[ci]
 	}
 }
 
 // ReserveEnd makes the eager reservation guaranteeing that the end event of
 // the transaction now starting on ci can be logged instantly later.
 func (e *Encoder) ReserveEnd(ci int) {
-	if !e.endReserved[ci] {
-		e.endReserved[ci] = true
-		e.reserved += e.endNeed(ci)
+	if e.endResv[ci] == 0 {
+		e.endResv[ci] = e.endNeed(ci)
+		e.reserved += e.endResv[ci]
 	}
 }
 
@@ -148,9 +193,9 @@ func (e *Encoder) LogEnd(ci int, content []byte) {
 	if content != nil {
 		e.curContents[ci] = content
 	}
-	if e.endReserved[ci] {
-		e.endReserved[ci] = false
-		e.reserved -= e.endNeed(ci)
+	if e.endResv[ci] > 0 {
+		e.reserved -= e.endResv[ci]
+		e.endResv[ci] = 0
 	}
 }
 
@@ -169,6 +214,7 @@ func (e *Encoder) Tick() {
 	}
 	if anyEvent || e.EmitIdlePackets {
 		pkt := trace.NewCyclePacket(e.meta)
+		pkt.Lossy = e.lossy
 		// Input starts with content, compacted in channel order through
 		// the binary reduction tree.
 		startContents := make([][]byte, e.meta.NumChannels())
@@ -183,7 +229,11 @@ func (e *Encoder) Tick() {
 			if e.curEnds[ci] {
 				pkt.Ends.Set(ci)
 				if e.meta.ValidateOutputs && e.meta.Channels[ci].Dir == trace.Output {
-					endContents[ci] = e.curContents[ci]
+					if e.lossy {
+						e.UnrecordedEnds++
+					} else {
+						endContents[ci] = e.curContents[ci]
+					}
 				}
 			}
 		}
@@ -201,6 +251,28 @@ func (e *Encoder) Tick() {
 		n := e.store.Accept(e.used)
 		e.used -= n
 	}
+	// Graceful degradation state machine. Mode changes take effect from the
+	// next cycle's packet, keeping the decision deterministic and registered.
+	// Pressure is judged from buffer occupancy, not from CanAccept denials:
+	// a starved store keeps the buffer pinned full continuously, while
+	// denials only land on cycles where a monitor happens to ask.
+	if e.Degraded {
+		free := e.bufBytes - e.used - e.reserved
+		if e.deniedThisCycle || free < 2*e.safetyMargin() {
+			e.stallStreak++
+			if !e.lossy && e.stallStreak > e.stallBudget() {
+				e.lossy = true
+				e.GapCount++
+			}
+		} else {
+			e.stallStreak = 0
+		}
+		if e.lossy && e.used <= e.bufBytes/4 {
+			e.lossy = false
+			e.stallStreak = 0
+		}
+	}
+	e.deniedThisCycle = false
 }
 
 // Trace returns the structured trace recorded so far.

@@ -70,6 +70,21 @@ type Options struct {
 	// other interfaces become transparent passthroughs and do not appear
 	// in the trace. Nil selects every boundary channel.
 	OnlyInterfaces []string
+	// DegradedRecording enables graceful degradation: under sustained
+	// back-pressure the encoder sheds output-validation contents (lossy gap
+	// packets) instead of stalling the application indefinitely. Replay
+	// stays exact; divergence detection reports the gap transactions as
+	// unrecorded.
+	DegradedRecording bool
+	// StallBudgetCycles is the back-pressure streak tolerated before
+	// degraded recording goes lossy. Zero selects the encoder default.
+	StallBudgetCycles int
+	// StoreFaultFn injects storage transport faults: consulted once per
+	// attempted transfer with the store-local cycle, returning false to
+	// fail it. Transient faults are retried with bounded exponential
+	// backoff; a fault persisting past the retry budget aborts the run with
+	// a StoreFaultError.
+	StoreFaultFn func(cycle uint64) bool
 }
 
 // interfaceEnabled reports whether a channel's interface is selected.
@@ -143,9 +158,16 @@ func NewShim(s *sim.Simulator, b *Boundary, opts Options) (*Shim, error) {
 	if recording {
 		meta := eff.Meta(opts.ValidateOutputs)
 		sh.recStore = NewStore(opts.StoreBytesPerCycle, opts.Link)
+		sh.recStore.FaultFn = opts.StoreFaultFn
 		enc = NewEncoder(meta, sh.recStore, opts.BufBytes)
 		enc.EmitIdlePackets = opts.EmitIdlePackets
+		enc.Degraded = opts.DegradedRecording
+		enc.StallBudget = opts.StallBudgetCycles
 		sh.encoder = enc
+		// A storage transport that dies permanently must abort the run with
+		// a typed error rather than wedge the encoder until the watchdog
+		// reports a deadlock.
+		s.AddChecker(storeChecker{s: sh.recStore, site: "record-store"})
 	}
 
 	// Monitors interpose on every selected channel in all modes; with a nil
@@ -240,6 +262,10 @@ func (sh *Shim) PendingBytes() int {
 
 // Encoder exposes the encoder for statistics (nil when not recording).
 func (sh *Shim) Encoder() *Encoder { return sh.encoder }
+
+// Store exposes the recording trace store for statistics and fault
+// injection (nil when not recording).
+func (sh *Shim) Store() *Store { return sh.recStore }
 
 // Coordinator exposes the replay coordinator (nil when not replaying).
 func (sh *Shim) Coordinator() *Coordinator { return sh.coord }

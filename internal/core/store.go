@@ -1,6 +1,42 @@
 package core
 
-import "vidi/internal/axi"
+import (
+	"errors"
+	"fmt"
+
+	"vidi/internal/axi"
+)
+
+// ErrStoreFault is the sentinel for a trace-store transport failure that
+// survived the retry budget. The error carried by the simulation is a
+// *StoreFaultError wrapping this sentinel.
+var ErrStoreFault = errors.New("core: trace store transport fault")
+
+// StoreFaultError reports a permanent trace-store transport failure: the
+// link faulted on every one of the store's bounded retries.
+type StoreFaultError struct {
+	// Cycle is the store-local cycle at which the retry budget ran out.
+	Cycle uint64
+	// Attempts is the number of consecutive failed transfer attempts.
+	Attempts int
+}
+
+// Error implements error.
+func (e *StoreFaultError) Error() string {
+	return fmt.Sprintf("%v: %d consecutive transfer failures, retries exhausted at cycle %d",
+		ErrStoreFault, e.Attempts, e.Cycle)
+}
+
+// Unwrap keeps errors.Is(err, ErrStoreFault) working.
+func (e *StoreFaultError) Unwrap() error { return ErrStoreFault }
+
+// Default retry parameters: a transient fault is retried up to
+// DefaultMaxRetries times, with an exponential backoff starting at
+// DefaultBackoffCycles and doubling per consecutive failure.
+const (
+	DefaultMaxRetries    = 8
+	DefaultBackoffCycles = 4
+)
 
 // Store models Vidi's trace store (§3.3): the component that moves trace
 // bytes between the FPGA and external storage (CPU-side DRAM over PCIe DMA
@@ -11,6 +47,12 @@ import "vidi/internal/axi"
 // bandwidth. When it shares a link (token bucket) with the application's own
 // DMA traffic, the contention is the dominant source of Vidi's recording
 // overhead — exactly the effect measured in Table 1 of the paper.
+//
+// The store is fault-aware: a transient transport fault (FaultFn) fails the
+// cycle's transfer and schedules a bounded exponential-backoff retry; once
+// MaxRetries consecutive attempts have failed the store escalates to a
+// permanent StoreFaultError, which the shim surfaces through a simulation
+// checker so the run fails loudly instead of silently wedging.
 type Store struct {
 	// BytesPerCycle is the store's own maximum throughput per cycle.
 	BytesPerCycle int
@@ -19,10 +61,31 @@ type Store struct {
 	// store for that cycle.
 	Link *axi.TokenBucket
 
+	// FaultFn, when set, simulates the storage transport: it is consulted
+	// before each transfer with the store-local cycle and returns false to
+	// fail the transfer (fault injection). nil models a perfect link.
+	FaultFn func(cycle uint64) bool
+	// MaxRetries bounds consecutive failed transfers before escalation.
+	// Zero selects DefaultMaxRetries.
+	MaxRetries int
+	// BackoffCycles is the base retry delay, doubled per consecutive
+	// failure (capped). Zero selects DefaultBackoffCycles.
+	BackoffCycles int
+
 	budget int // remaining bytes this cycle
+
+	cycle        uint64 // store-local cycle counter (advanced by Tick)
+	backoffUntil uint64 // no transfers before this cycle (retry backoff)
+	failStreak   int    // consecutive failed transfer attempts
+	permErr      error  // non-nil once the retry budget is exhausted
 
 	// StoredBytes counts all trace bytes moved to external storage.
 	StoredBytes uint64
+	// Retries counts failed transfer attempts that scheduled a retry.
+	Retries uint64
+	// Stalls counts Accept calls rejected while unavailable (link
+	// starvation or retry backoff).
+	Stalls uint64
 }
 
 // NewStore creates a store with the given drain bandwidth.
@@ -33,11 +96,37 @@ func NewStore(bytesPerCycle int, link *axi.TokenBucket) *Store {
 // Name implements sim.Module.
 func (s *Store) Name() string { return "trace-store" }
 
+func (s *Store) maxRetries() int {
+	if s.MaxRetries > 0 {
+		return s.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (s *Store) backoffBase() uint64 {
+	if s.BackoffCycles > 0 {
+		return uint64(s.BackoffCycles)
+	}
+	return DefaultBackoffCycles
+}
+
+// Err reports the store's permanent transport failure, if any.
+func (s *Store) Err() error { return s.permErr }
+
 // Accept moves up to n bytes from the encoder (or to the decoder) this
-// cycle, honouring the bandwidth budget and the shared link. It returns the
-// number of bytes actually moved.
+// cycle, honouring the bandwidth budget, the shared link, and the transport
+// fault state. It returns the number of bytes actually moved; a transient
+// transport fault moves nothing and schedules a backoff retry.
 func (s *Store) Accept(n int) int {
+	if s.permErr != nil {
+		return 0
+	}
+	if s.cycle < s.backoffUntil {
+		s.Stalls++
+		return 0
+	}
 	if s.Link != nil && !s.Link.Ok() {
+		s.Stalls++
 		return 0
 	}
 	if n > s.budget {
@@ -46,6 +135,23 @@ func (s *Store) Accept(n int) int {
 	if n <= 0 {
 		return 0
 	}
+	if s.FaultFn != nil && !s.FaultFn(s.cycle) {
+		s.failStreak++
+		if s.failStreak > s.maxRetries() {
+			s.permErr = &StoreFaultError{Cycle: s.cycle, Attempts: s.failStreak}
+			return 0
+		}
+		s.Retries++
+		// Exponential backoff, capped so a long outage escalates rather
+		// than sleeping unboundedly.
+		shift := s.failStreak - 1
+		if shift > 6 {
+			shift = 6
+		}
+		s.backoffUntil = s.cycle + s.backoffBase()<<uint(shift)
+		return 0
+	}
+	s.failStreak = 0
 	s.budget -= n
 	s.StoredBytes += uint64(n)
 	if s.Link != nil {
@@ -57,5 +163,23 @@ func (s *Store) Accept(n int) int {
 // Eval implements sim.Module.
 func (s *Store) Eval() {}
 
-// Tick implements sim.Module: it replenishes the per-cycle budget.
-func (s *Store) Tick() { s.budget = s.BytesPerCycle }
+// Tick implements sim.Module: it replenishes the per-cycle budget and
+// advances the store-local cycle.
+func (s *Store) Tick() {
+	s.budget = s.BytesPerCycle
+	s.cycle++
+}
+
+// storeChecker surfaces a permanent store fault as a simulation error, so a
+// dead transport aborts the run with a typed error instead of wedging the
+// encoder behind back-pressure until the watchdog guesses "deadlock".
+type storeChecker struct {
+	s    *Store
+	site string
+}
+
+// Name implements sim.Checker.
+func (c storeChecker) Name() string { return c.site }
+
+// Check implements sim.Checker.
+func (c storeChecker) Check() error { return c.s.Err() }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vidi/internal/axi"
+)
+
+// tick advances the store n cycles (budget refresh + cycle count).
+func tick(s *Store, n int) {
+	for i := 0; i < n; i++ {
+		s.Tick()
+	}
+}
+
+// TestStoreSharedLinkStarvationMidBurst drives a store off a shared link
+// that an application burst drains mid-transfer: the store must stall (not
+// transfer, count the stall) and resume when the bucket recovers.
+func TestStoreSharedLinkStarvationMidBurst(t *testing.T) {
+	link := axi.NewTokenBucket("pcie", 8, 16)
+	s := NewStore(8, link)
+	tick(s, 1)
+
+	if got := s.Accept(8); got != 8 {
+		t.Fatalf("healthy accept = %d, want 8", got)
+	}
+	// The application burst spends the bucket far negative mid-burst.
+	link.Spend(64)
+	s.Tick()
+	if got := s.Accept(8); got != 0 {
+		t.Fatalf("starved accept = %d, want 0", got)
+	}
+	if s.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", s.Stalls)
+	}
+	// The bucket replenishes 8/cycle; after enough ticks it recovers and
+	// the store resumes exactly where it left off.
+	for i := 0; i < 16 && !link.Ok(); i++ {
+		link.Tick()
+		s.Tick()
+	}
+	if !link.Ok() {
+		t.Fatalf("link never recovered")
+	}
+	if got := s.Accept(8); got != 8 {
+		t.Fatalf("post-recovery accept = %d, want 8", got)
+	}
+	if s.StoredBytes != 16 {
+		t.Fatalf("StoredBytes = %d, want 16", s.StoredBytes)
+	}
+}
+
+// TestStoreZeroBandwidth checks that a zero-bandwidth store accepts nothing
+// yet never wedges the caller with a bogus partial transfer.
+func TestStoreZeroBandwidth(t *testing.T) {
+	s := NewStore(0, nil)
+	tick(s, 3)
+	for i := 0; i < 4; i++ {
+		if got := s.Accept(100); got != 0 {
+			t.Fatalf("zero-bandwidth accept = %d, want 0", got)
+		}
+		s.Tick()
+	}
+	if s.StoredBytes != 0 {
+		t.Fatalf("StoredBytes = %d, want 0", s.StoredBytes)
+	}
+}
+
+// TestStoreBudgetResetWithLinkGate checks the budget × Link.Ok interaction:
+// a cycle whose budget goes unused because the link is down must not bank
+// the unused budget into the next cycle.
+func TestStoreBudgetResetWithLinkGate(t *testing.T) {
+	link := axi.NewTokenBucket("pcie", 4, 8)
+	s := NewStore(10, link)
+	tick(s, 1)
+
+	link.Spend(100) // link down
+	if got := s.Accept(10); got != 0 {
+		t.Fatalf("accept while link down = %d, want 0", got)
+	}
+	// Many cycles pass with the link down; budget must stay capped at one
+	// cycle's worth.
+	for i := 0; i < 5; i++ {
+		s.Tick()
+	}
+	for !link.Ok() {
+		link.Tick()
+	}
+	if got := s.Accept(100); got != 10 {
+		t.Fatalf("accept after link recovery = %d, want 10 (one cycle's budget, not banked)", got)
+	}
+}
+
+// TestStoreRetryBackoff exercises the transient-fault path: a short outage
+// is retried with growing spacing and the transfer eventually succeeds.
+func TestStoreRetryBackoff(t *testing.T) {
+	fail := true
+	attempts := 0
+	s := NewStore(8, nil)
+	s.BackoffCycles = 2
+	s.FaultFn = func(cycle uint64) bool {
+		attempts++
+		return !fail
+	}
+	tick(s, 1)
+
+	// First attempt fails and schedules a backoff.
+	if got := s.Accept(8); got != 0 {
+		t.Fatalf("faulted accept = %d, want 0", got)
+	}
+	if s.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", s.Retries)
+	}
+	// During backoff no further attempts are made (FaultFn not consulted).
+	before := attempts
+	s.Tick()
+	if got := s.Accept(8); got != 0 {
+		t.Fatalf("backoff accept = %d, want 0", got)
+	}
+	if attempts != before {
+		t.Fatalf("attempt during backoff window")
+	}
+	if s.Stalls == 0 {
+		t.Fatalf("backoff stall not counted")
+	}
+	// Heal the link; after the backoff expires the retry succeeds and the
+	// streak resets.
+	fail = false
+	tick(s, 4)
+	if got := s.Accept(8); got != 8 {
+		t.Fatalf("post-backoff accept = %d, want 8", got)
+	}
+	if s.Err() != nil {
+		t.Fatalf("transient fault escalated: %v", s.Err())
+	}
+}
+
+// TestStorePermanentFault checks the escalation: an outage outlasting the
+// retry budget becomes a typed permanent StoreFaultError.
+func TestStorePermanentFault(t *testing.T) {
+	s := NewStore(8, nil)
+	s.MaxRetries = 3
+	s.BackoffCycles = 1
+	s.FaultFn = func(cycle uint64) bool { return false }
+	tick(s, 1)
+
+	for i := 0; i < 10000 && s.Err() == nil; i++ {
+		s.Accept(8)
+		s.Tick()
+	}
+	err := s.Err()
+	if err == nil {
+		t.Fatalf("permanent outage never escalated")
+	}
+	if !errors.Is(err, ErrStoreFault) {
+		t.Fatalf("errors.Is(err, ErrStoreFault) = false for %v", err)
+	}
+	var sf *StoreFaultError
+	if !errors.As(err, &sf) {
+		t.Fatalf("error is not a *StoreFaultError: %v", err)
+	}
+	if sf.Attempts != s.MaxRetries+1 {
+		t.Fatalf("Attempts = %d, want %d", sf.Attempts, s.MaxRetries+1)
+	}
+	// A dead store accepts nothing, forever.
+	tick(s, 2)
+	if got := s.Accept(8); got != 0 {
+		t.Fatalf("dead store accepted %d bytes", got)
+	}
+	// The checker surfaces it.
+	if cerr := (storeChecker{s: s, site: "test"}).Check(); !errors.Is(cerr, ErrStoreFault) {
+		t.Fatalf("checker returned %v", cerr)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"vidi/internal/apps"
 	"vidi/internal/core"
+	"vidi/internal/fault"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
 	"vidi/internal/trace"
@@ -59,6 +60,15 @@ type RunConfig struct {
 	MaxCycles uint64
 	// JitterMax bounds CPU-side timing noise; 0 selects 8.
 	JitterMax int
+	// FaultPlan, when non-nil, arms the plan's deterministic fault
+	// injectors (storage brownouts/outages, CPU stalls, DRAM hiccups) on
+	// the built system.
+	FaultPlan *fault.Plan
+	// DegradedRecording lets recording go lossy under sustained
+	// back-pressure instead of stalling the application indefinitely.
+	DegradedRecording bool
+	// StallBudgetCycles overrides the degradation stall budget when >0.
+	StallBudgetCycles int
 }
 
 // RunResult is the outcome of one experiment run.
@@ -125,6 +135,8 @@ func Build(rc RunConfig) (*Built, error) {
 		StoreAndForward:    rc.StoreAndForward,
 		EmitIdlePackets:    rc.EmitIdlePackets,
 		OnlyInterfaces:     rc.OnlyInterfaces,
+		DegradedRecording:  rc.DegradedRecording,
+		StallBudgetCycles:  rc.StallBudgetCycles,
 	}
 	if !rc.DisableShare {
 		opts.Link = sys.PCIe
@@ -145,6 +157,8 @@ func Build(rc RunConfig) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Injectors arm last so they perturb a fully-assembled system.
+	fault.Arm(rc.FaultPlan, sys, shim)
 
 	var vcd *sim.VCDWriter
 	if rc.VCDPath != "" {

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"vidi/internal/trace"
+)
+
+// TestPlanDeterminism: the same seed must yield a byte-identical schedule;
+// a different seed must not.
+func TestPlanDeterminism(t *testing.T) {
+	a := NewPlan(7, Classes()...)
+	b := NewPlan(7, Classes()...)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	c := NewPlan(8, Classes()...)
+	if reflect.DeepEqual(a.Specs, c.Specs) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// TestPlanWindowsSane checks every scheduled window is non-empty and starts
+// inside the early-execution range the matrix depends on.
+func TestPlanWindowsSane(t *testing.T) {
+	p := NewPlan(99, Classes()...)
+	for _, s := range p.Specs {
+		for _, w := range s.Windows {
+			if w.End <= w.Start {
+				t.Fatalf("%s: empty window %+v", s.Class, w)
+			}
+			if w.Start < minStart || w.Start >= maxStart {
+				t.Fatalf("%s: window start %d outside [%d,%d)", s.Class, w.Start, minStart, maxStart)
+			}
+		}
+		if s.Severity <= 0 || s.Severity > 1 {
+			t.Fatalf("%s: severity %v outside (0,1]", s.Class, s.Severity)
+		}
+	}
+	// Outage windows must stay survivable: shorter than the store's
+	// ~1k-cycle retry span.
+	for _, w := range p.Spec(LinkOutage).Windows {
+		if w.End-w.Start >= 500 {
+			t.Fatalf("outage window %+v outlasts the retry budget", w)
+		}
+	}
+}
+
+// TestWindowContains pins the half-open interval semantics.
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: 10, End: 20}
+	for cy, want := range map[uint64]bool{9: false, 10: true, 19: true, 20: false} {
+		if got := w.Contains(cy); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", cy, got, want)
+		}
+	}
+}
+
+// TestCorruptFramesDeterministic: the offline mutators must be seed-stable
+// and must actually mutate.
+func TestCorruptFramesDeterministic(t *testing.T) {
+	body := make([]byte, 500)
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	frames := trace.FrameStream(body)
+	p := NewPlan(3, BitFlip, Truncate)
+
+	c1 := p.CorruptFrames(frames)
+	c2 := p.CorruptFrames(frames)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("CorruptFrames is not deterministic")
+	}
+	if reflect.DeepEqual(c1, frames) {
+		t.Fatalf("CorruptFrames did not mutate")
+	}
+	// The original frames stay untouched (mutation must copy).
+	if _, err := trace.DeframeStream(frames); err != nil {
+		t.Fatalf("CorruptFrames damaged its input: %v", err)
+	}
+
+	tr1 := p.TruncateFrames(frames)
+	tr2 := p.TruncateFrames(frames)
+	if len(tr1) != len(tr2) || len(tr1) >= len(frames) || len(tr1) == 0 {
+		t.Fatalf("TruncateFrames lengths: %d, %d (from %d)", len(tr1), len(tr2), len(frames))
+	}
+}
+
+// TestClassStrings keeps the class names stable — they appear in the
+// rendered fault matrix.
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		LinkBrownout: "link-brownout",
+		LinkOutage:   "link-outage",
+		BitFlip:      "bit-flip",
+		Truncate:     "truncate",
+		CPUStall:     "cpu-stall",
+		DMAHiccup:    "dma-hiccup",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if len(Classes()) != len(want) {
+		t.Fatalf("Classes() has %d entries, want %d", len(Classes()), len(want))
+	}
+}

@@ -46,6 +46,12 @@ type CPU struct {
 
 	threads []*Thread
 
+	// StallFn, when set and returning true, freezes issue for the cycle: no
+	// thread starts its next operation. Fault injection uses it to model
+	// host-side scheduling stalls (the OS preempting the agent process) —
+	// in-flight AXI traffic keeps draining, but no new work is issued.
+	StallFn func() bool
+
 	irqConsumed int
 }
 
@@ -96,6 +102,9 @@ func (c *CPU) Eval() {}
 // Tick implements sim.Module: every idle thread issues its next operation,
 // after a seeded random delay.
 func (c *CPU) Tick() {
+	if c.StallFn != nil && c.StallFn() {
+		return
+	}
 	for _, t := range c.threads {
 		if t.busy || len(t.ops) == 0 {
 			continue

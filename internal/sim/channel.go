@@ -48,16 +48,18 @@ func (ch *Channel) Width() int { return ch.width }
 
 // latch records handshake events at the clock edge. Called by the simulator
 // after the combinational fixpoint, before Tick.
-func (ch *Channel) latch() {
+func (ch *Channel) latch(cycle uint64) {
 	v, r := ch.Valid.Get(), ch.Ready.Get()
 	ch.startedNow = v && !ch.inFlight
 	ch.fired = v && r
 	if ch.startedNow {
 		ch.inFlight = true
+		ch.startCycle = cycle
 		ch.starts++
 	}
 	if ch.fired {
 		ch.inFlight = false
+		ch.endCycle = cycle
 		ch.ends++
 	}
 }

@@ -23,6 +23,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Module is a hardware block. Eval drives combinational outputs and is run
@@ -50,8 +51,49 @@ type Checker interface {
 var ErrCombLoop = errors.New("sim: combinational loop did not settle")
 
 // ErrDeadlock is returned by Run when no channel fires for the configured
-// watchdog window while at least one transaction is pending.
+// watchdog window while at least one transaction is pending. The error
+// returned by Run is a *DeadlockError wrapping this sentinel, so
+// errors.Is(err, ErrDeadlock) keeps working while errors.As exposes the
+// stuck channels.
 var ErrDeadlock = errors.New("sim: deadlock (no handshake progress)")
+
+// StuckChannel names one channel with a transaction in flight when the
+// watchdog tripped, and the cycle at which that transaction started.
+type StuckChannel struct {
+	Name  string
+	Since uint64
+}
+
+// DeadlockError is the structured watchdog error: it records when progress
+// stopped and which channels were holding transactions in flight, giving
+// divergence diagnosis a concrete fault site instead of a bare sentinel.
+type DeadlockError struct {
+	// LastFire is the cycle of the most recent completed handshake.
+	LastFire uint64
+	// Cycle is the cycle at which the watchdog tripped.
+	Cycle uint64
+	// Stuck lists the in-flight channels, in channel creation order.
+	Stuck []StuckChannel
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: no fire since cycle %d (now %d)", ErrDeadlock, e.LastFire, e.Cycle)
+	if len(e.Stuck) > 0 {
+		b.WriteString("; in flight:")
+		for i, s := range e.Stuck {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %s (since cycle %d)", s.Name, s.Since)
+		}
+	}
+	return b.String()
+}
+
+// Unwrap keeps errors.Is(err, ErrDeadlock) working.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
 // Simulator owns the clock, all wires, channels and modules of a design.
 type Simulator struct {
@@ -118,7 +160,7 @@ func (s *Simulator) Step() error {
 	// Phase 2: clock edge. Latch handshake events, then tick modules.
 	anyFire := false
 	for _, ch := range s.channels {
-		ch.latch()
+		ch.latch(s.cycle)
 		if ch.fired {
 			anyFire = true
 		}
@@ -145,7 +187,7 @@ func (s *Simulator) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			return s.cycle - start, err
 		}
 		if s.WatchdogWindow > 0 && s.anyInFlight() && s.cycle-s.lastFire > s.WatchdogWindow {
-			return s.cycle - start, fmt.Errorf("%w: no fire since cycle %d (now %d)", ErrDeadlock, s.lastFire, s.cycle)
+			return s.cycle - start, s.deadlockError()
 		}
 	}
 	if done != nil && done() {
@@ -161,6 +203,18 @@ func (s *Simulator) anyInFlight() bool {
 		}
 	}
 	return false
+}
+
+// deadlockError builds the structured watchdog error from the in-flight
+// channels.
+func (s *Simulator) deadlockError() *DeadlockError {
+	e := &DeadlockError{LastFire: s.lastFire, Cycle: s.cycle}
+	for _, ch := range s.channels {
+		if ch.inFlight {
+			e.Stuck = append(e.Stuck, StuckChannel{Name: ch.name, Since: ch.startCycle})
+		}
+	}
+	return e
 }
 
 // Channels returns all channels created on this simulator, in creation order.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -262,5 +263,34 @@ func TestDeterministicReplayOfKernel(t *testing.T) {
 		if same {
 			t.Fatal("different seeds produced identical timing (jitter not applied)")
 		}
+	}
+}
+
+// TestDeadlockErrorStructure checks that the watchdog error names the stuck
+// channel and its start cycle while still matching the ErrDeadlock sentinel.
+func TestDeadlockErrorStructure(t *testing.T) {
+	s := New()
+	s.WatchdogWindow = 50
+	ch := s.NewChannel("wedged.ch", 4)
+	snd := NewSender("snd", ch)
+	// No receiver: the handshake starts but can never complete.
+	s.Register(snd)
+	snd.Push(payload(1))
+	_, err := s.Run(10000, nil)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("errors.Is(err, ErrDeadlock) = false for %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *DeadlockError: %v", err)
+	}
+	if len(de.Stuck) != 1 || de.Stuck[0].Name != "wedged.ch" {
+		t.Fatalf("Stuck = %+v, want exactly wedged.ch", de.Stuck)
+	}
+	if de.Cycle <= de.LastFire {
+		t.Fatalf("Cycle %d not after LastFire %d", de.Cycle, de.LastFire)
+	}
+	if got := de.Error(); !strings.Contains(got, "wedged.ch") {
+		t.Fatalf("Error() does not name the stuck channel: %q", got)
 	}
 }

@@ -5,60 +5,112 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 )
 
-// Binary trace file layout:
+// Binary trace file layout (version 2):
 //
-//	magic "VIDT", version u16, flags u16 (bit0 = ValidateOutputs)
+//	magic "VIDT"
+//	version u16, flags u16 (bit0 = ValidateOutputs)
 //	numChannels u32
 //	per channel: nameLen u16, name, ifaceLen u16, iface, width u32, dir u8
-//	numPackets u64
-//	packets: Starts bytes | Ends bytes | contents (fixed widths, in order)
+//	headerCRC u32   — CRC-32 of everything after the magic up to here
+//	numPackets u64, countCRC u32
+//	per packet: pktFlags u8 (bit0 = lossy) | Starts bytes | Ends bytes |
+//	            contents (fixed widths, in order) | pktCRC u32
 //
 // Content lengths are implied by the channel widths recorded in the header,
 // exactly as in hardware where each channel's DATA bus has a fixed width.
+// Every region is CRC-protected, so a flipped byte anywhere surfaces as a
+// typed *CorruptError instead of a silently wrong decode. Version 1 files
+// (no flags byte, no CRCs) remain readable.
 
 const (
 	magic   = "VIDT"
-	version = 1
+	version = 2
 )
+
+// Per-packet flag bits (version ≥ 2).
+const pktFlagLossy = 1 << 0
 
 // WriteTo serializes the trace.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := &countingWriter{w: bw}
-	if err := writeHeader(n, t.Meta); err != nil {
+	if _, err := n.Write([]byte(magic)); err != nil {
 		return n.n, err
 	}
-	if err := binary.Write(n, binary.LittleEndian, uint64(len(t.Packets))); err != nil {
+	cw := &crcWriter{w: n}
+	if err := writeHeader(cw, t.Meta); err != nil {
+		return n.n, err
+	}
+	if err := cw.emitCRC(); err != nil {
+		return n.n, err
+	}
+	cw.reset()
+	if err := binary.Write(cw, binary.LittleEndian, uint64(len(t.Packets))); err != nil {
+		return n.n, err
+	}
+	if err := cw.emitCRC(); err != nil {
 		return n.n, err
 	}
 	for _, p := range t.Packets {
-		if err := writePacket(n, t.Meta, p); err != nil {
+		cw.reset()
+		if err := writePacket(cw, t.Meta, p); err != nil {
+			return n.n, err
+		}
+		if err := cw.emitCRC(); err != nil {
 			return n.n, err
 		}
 	}
 	return n.n, bw.Flush()
 }
 
-// ReadFrom deserializes a trace.
+// ReadFrom deserializes a trace. Any damage — bad magic, CRC mismatch,
+// truncation — yields an error wrapping ErrCorrupt.
 func ReadFrom(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
-	m, err := readHeader(br)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, corruptf("magic", "reading: %v", err)
+	}
+	if string(mg[:]) != magic {
+		return nil, corruptf("magic", "bad magic %q", mg)
+	}
+	cr := &crcReader{r: br}
+	m, ver, err := readHeader(cr)
 	if err != nil {
 		return nil, err
 	}
+	if ver >= 2 {
+		if err := cr.checkCRC("header"); err != nil {
+			return nil, err
+		}
+	}
+	cr.reset()
 	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("trace: reading packet count: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return nil, corruptf("packet count", "reading: %v", err)
+	}
+	if ver >= 2 {
+		if err := cr.checkCRC("packet count"); err != nil {
+			return nil, err
+		}
 	}
 	t := NewTrace(m)
 	for i := uint64(0); i < count; i++ {
-		p, err := readPacket(br, m)
+		site := fmt.Sprintf("packet %d", i)
+		cr.reset()
+		p, err := readPacket(cr, m, ver)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet %d: %w", i, err)
+			return nil, corruptf(site, "%v", err)
+		}
+		if ver >= 2 {
+			if err := cr.checkCRC(site); err != nil {
+				return nil, err
+			}
 		}
 		t.Append(p)
 	}
@@ -100,10 +152,8 @@ func Load(path string) (*Trace, error) {
 	return ReadFrom(f)
 }
 
+// writeHeader writes everything after the magic up to the header CRC.
 func writeHeader(w io.Writer, m *Meta) error {
-	if _, err := w.Write([]byte(magic)); err != nil {
-		return err
-	}
 	flags := uint16(0)
 	if m.ValidateOutputs {
 		flags |= 1
@@ -134,61 +184,63 @@ func writeHeader(w io.Writer, m *Meta) error {
 	return nil
 }
 
-func readHeader(r io.Reader) (*Meta, error) {
-	var mg [4]byte
-	if _, err := io.ReadFull(r, mg[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(mg[:]) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", mg)
-	}
+// readHeader reads the post-magic header and returns the metadata and the
+// file's format version.
+func readHeader(r io.Reader) (*Meta, uint16, error) {
 	var ver, flags uint16
 	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return nil, err
+		return nil, 0, corruptf("header", "reading version: %v", err)
 	}
-	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	if ver == 0 || ver > version {
+		return nil, 0, corruptf("header", "unsupported version %d", ver)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
-		return nil, err
+		return nil, 0, corruptf("header", "reading flags: %v", err)
 	}
 	var nch uint32
 	if err := binary.Read(r, binary.LittleEndian, &nch); err != nil {
-		return nil, err
+		return nil, 0, corruptf("header", "reading channel count: %v", err)
 	}
 	if nch > 1<<16 {
-		return nil, fmt.Errorf("trace: implausible channel count %d", nch)
+		return nil, 0, corruptf("header", "implausible channel count %d", nch)
 	}
 	chans := make([]ChannelInfo, nch)
 	for i := range chans {
 		name, err := readString(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, corruptf("header", "channel %d name: %v", i, err)
 		}
 		iface, err := readString(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, corruptf("header", "channel %q interface: %v", name, err)
 		}
 		var width uint32
 		if err := binary.Read(r, binary.LittleEndian, &width); err != nil {
-			return nil, err
+			return nil, 0, corruptf("header", "channel %q width: %v", name, err)
 		}
 		if width > 1<<20 {
-			return nil, fmt.Errorf("trace: channel %q: implausible width %d", name, width)
+			return nil, 0, corruptf("header", "channel %q: implausible width %d", name, width)
 		}
 		var dir uint8
 		if err := binary.Read(r, binary.LittleEndian, &dir); err != nil {
-			return nil, err
+			return nil, 0, corruptf("header", "channel %q direction: %v", name, err)
 		}
 		if dir > 1 {
-			return nil, fmt.Errorf("trace: channel %q: bad direction %d", name, dir)
+			return nil, 0, corruptf("header", "channel %q: bad direction %d", name, dir)
 		}
 		chans[i] = ChannelInfo{Name: name, Interface: iface, Width: int(width), Dir: Direction(dir)}
 	}
-	return NewMeta(chans, flags&1 != 0), nil
+	return NewMeta(chans, flags&1 != 0), ver, nil
 }
 
 func writePacket(w io.Writer, m *Meta, p CyclePacket) error {
+	flags := uint8(0)
+	if p.Lossy {
+		flags |= pktFlagLossy
+	}
+	if _, err := w.Write([]byte{flags}); err != nil {
+		return err
+	}
 	if _, err := w.Write(p.Starts.Bytes()); err != nil {
 		return err
 	}
@@ -203,7 +255,18 @@ func writePacket(w io.Writer, m *Meta, p CyclePacket) error {
 	return nil
 }
 
-func readPacket(r io.Reader, m *Meta) (CyclePacket, error) {
+func readPacket(r io.Reader, m *Meta, ver uint16) (CyclePacket, error) {
+	var flags uint8
+	if ver >= 2 {
+		var fb [1]byte
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return CyclePacket{}, err
+		}
+		flags = fb[0]
+		if flags&^uint8(pktFlagLossy) != 0 {
+			return CyclePacket{}, fmt.Errorf("unknown packet flags %#x", flags)
+		}
+	}
 	sb := make([]byte, ByteLen(m.NumInputs()))
 	if _, err := io.ReadFull(r, sb); err != nil {
 		return CyclePacket{}, err
@@ -220,7 +283,7 @@ func readPacket(r io.Reader, m *Meta) (CyclePacket, error) {
 	if err != nil {
 		return CyclePacket{}, err
 	}
-	p := CyclePacket{Starts: starts, Ends: ends}
+	p := CyclePacket{Starts: starts, Ends: ends, Lossy: flags&pktFlagLossy != 0}
 	for ii, ci := range m.InputChannels() {
 		if starts.Get(ii) {
 			c := make([]byte, m.Channels[ci].Width)
@@ -230,7 +293,7 @@ func readPacket(r io.Reader, m *Meta) (CyclePacket, error) {
 			p.Contents = append(p.Contents, c)
 		}
 	}
-	if m.ValidateOutputs {
+	if m.ValidateOutputs && !p.Lossy {
 		for _, ci := range m.OutputChannels() {
 			if ends.Get(ci) {
 				c := make([]byte, m.Channels[ci].Width)
@@ -278,6 +341,54 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// crcWriter hashes every byte written through it; emitCRC appends the
+// running CRC-32 to the underlying stream (outside the hash).
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (c *crcWriter) reset() { c.crc = 0 }
+
+func (c *crcWriter) emitCRC() error {
+	var b [4]byte
+	putU32(b[:], c.crc)
+	_, err := c.w.Write(b[:])
+	return err
+}
+
+// crcReader hashes every byte read through it; checkCRC reads the stored
+// CRC-32 from the underlying stream (outside the hash) and compares.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (c *crcReader) reset() { c.crc = 0 }
+
+func (c *crcReader) checkCRC(site string) error {
+	var b [4]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return corruptf(site, "reading CRC: %v", err)
+	}
+	if stored := getU32(b[:]); stored != c.crc {
+		return corruptf(site, "CRC mismatch (stored %08x, computed %08x)", stored, c.crc)
+	}
+	return nil
+}
+
 // StoragePacketSize is the fixed size of the storage-interface packets the
 // trace store exchanges with external storage (§3.3). The AWS F1 platform
 // exposes CPU-side DRAM at 64-byte granularity.
@@ -285,7 +396,8 @@ const StoragePacketSize = 64
 
 // PackStorage splits a byte stream into fixed-size storage-interface
 // packets, padding the final packet with zeros. It returns the packets and
-// the number of meaningful bytes (for unpadding).
+// the number of meaningful bytes (for unpadding). FrameStream/DeframeStream
+// are the hardened equivalents carrying sequence numbers and CRCs.
 func PackStorage(body []byte) ([][StoragePacketSize]byte, int) {
 	n := (len(body) + StoragePacketSize - 1) / StoragePacketSize
 	out := make([][StoragePacketSize]byte, n)

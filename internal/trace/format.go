@@ -122,6 +122,16 @@ type CyclePacket struct {
 	Starts   BitVec
 	Ends     BitVec
 	Contents [][]byte
+
+	// Lossy marks a gap-region packet written while the encoder was in
+	// degraded (lossy) recording mode: the contents of output end events are
+	// not recorded, only the event bits. Input starts keep their contents and
+	// every Starts/Ends bit is still present, so a lossy packet replays
+	// exactly; what is lost is divergence-detection coverage for the output
+	// transactions ending inside the gap. A run of lossy packets is a gap
+	// marker: Compare counts its output ends as "unrecorded (degraded)"
+	// instead of reporting spurious content divergences.
+	Lossy bool
 }
 
 // NewCyclePacket returns an empty cycle packet shaped for m.
@@ -146,7 +156,7 @@ func (p CyclePacket) Size(m *Meta) int {
 
 // Copy returns a deep copy of the packet.
 func (p CyclePacket) Copy() CyclePacket {
-	q := CyclePacket{Starts: p.Starts.Copy(), Ends: p.Ends.Copy()}
+	q := CyclePacket{Starts: p.Starts.Copy(), Ends: p.Ends.Copy(), Lossy: p.Lossy}
 	for _, c := range p.Contents {
 		cc := make([]byte, len(c))
 		copy(cc, c)
@@ -201,6 +211,38 @@ func (t *Trace) TotalTransactions() uint64 {
 	return n
 }
 
+// LossyPackets returns the number of gap-region (degraded-mode) packets.
+func (t *Trace) LossyPackets() int {
+	n := 0
+	for _, p := range t.Packets {
+		if p.Lossy {
+			n++
+		}
+	}
+	return n
+}
+
+// UnrecordedTransactions counts output end events inside gap regions: the
+// transactions whose contents were shed by degraded recording and that
+// divergence detection therefore cannot validate.
+func (t *Trace) UnrecordedTransactions() uint64 {
+	if !t.Meta.ValidateOutputs {
+		return 0
+	}
+	var n uint64
+	for _, p := range t.Packets {
+		if !p.Lossy {
+			continue
+		}
+		for _, ci := range t.Meta.OutputChannels() {
+			if p.Ends.Get(ci) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Validate performs structural checks: content counts match Starts (and,
 // with ValidateOutputs, output Ends), content widths match channel widths,
 // and per-channel starts/ends alternate legally.
@@ -226,7 +268,7 @@ func (t *Trace) Validate() error {
 				return fmt.Errorf("trace: packet %d: input channel %s ends while idle", pi, m.Channels[ci].Name)
 			}
 			open[ci] = false
-			if m.ValidateOutputs && m.Channels[ci].Dir == Output {
+			if m.ValidateOutputs && !p.Lossy && m.Channels[ci].Dir == Output {
 				want++
 			}
 		}
@@ -244,7 +286,7 @@ func (t *Trace) Validate() error {
 				k++
 			}
 		}
-		if m.ValidateOutputs {
+		if m.ValidateOutputs && !p.Lossy {
 			for _, ci := range m.OutputChannels() {
 				if p.Ends.Get(ci) {
 					if len(p.Contents[k]) != m.Channels[ci].Width {

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -52,26 +54,79 @@ func FuzzDecode(f *testing.F) {
 }
 
 // TestDecodeCorruptionMatrix flips every byte of a valid trace one at a
-// time (deterministic, unlike the fuzzer's default run) and requires
-// error-or-consistency for each corruption.
+// time (deterministic, unlike the fuzzer's default run). The v2 format
+// CRC-protects the entire file — header, packet count and every packet — so
+// EVERY single-byte flip must surface as a typed *CorruptError wrapping
+// ErrCorrupt. A successful decode of a flipped file would be a silent wrong
+// decode, which the framing exists to rule out.
 func TestDecodeCorruptionMatrix(t *testing.T) {
-	m := testMeta(true)
 	tr := randTrace(t, 5, true, 30)
 	valid := tr.Bytes()
 	for i := range valid {
 		c := append([]byte(nil), valid...)
 		c[i] ^= 0xff
-		got, err := FromBytes(c)
-		if err != nil {
-			continue
+		_, err := FromBytes(c)
+		if err == nil {
+			t.Fatalf("flip of byte %d decoded without error (silent corruption)", i)
 		}
-		// Decoded despite corruption (flip landed in content bytes or a
-		// tolerated field): must still be navigable.
-		_ = got.Events()
-		_ = got.TotalTransactions()
-		for ci := range got.Meta.Channels {
-			_ = got.Transactions(ci)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip of byte %d: error is not typed ErrCorrupt: %v", i, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("flip of byte %d: error is not a *CorruptError: %v", i, err)
 		}
 	}
-	_ = m
+}
+
+// TestFrameCorruptionMatrix does the same at the storage-frame layer: every
+// single-byte flip of every frame must be caught by the per-frame CRC.
+func TestFrameCorruptionMatrix(t *testing.T) {
+	tr := randTrace(t, 7, true, 12)
+	frames := tr.Frames()
+	if len(frames) < 2 {
+		t.Fatalf("want a multi-frame trace, got %d frames", len(frames))
+	}
+	// Subsample frames to keep the matrix fast; every byte of the chosen
+	// frames is flipped.
+	for fi := 0; fi < len(frames); fi += 1 + len(frames)/8 {
+		for bi := 0; bi < StoragePacketSize; bi++ {
+			c := make([][StoragePacketSize]byte, len(frames))
+			copy(c, frames)
+			c[fi][bi] ^= 0x40
+			if _, err := FromFrames(c); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("frame %d byte %d flip: want ErrCorrupt, got %v", fi, bi, err)
+			}
+		}
+	}
+}
+
+// TestFrameLossAndReorder checks the sequence-number side of the framing:
+// dropping or swapping whole (CRC-intact) frames is detected.
+func TestFrameLossAndReorder(t *testing.T) {
+	tr := randTrace(t, 9, true, 12)
+	frames := tr.Frames()
+	if len(frames) < 3 {
+		t.Fatalf("want >=3 frames, got %d", len(frames))
+	}
+	// Round-trips cleanly when untouched.
+	rt, err := FromFrames(frames)
+	if err != nil {
+		t.Fatalf("clean deframe: %v", err)
+	}
+	if !bytes.Equal(rt.Bytes(), tr.Bytes()) {
+		t.Fatalf("frame round trip altered the trace")
+	}
+	// Mid-stream loss.
+	lost := append(append([][StoragePacketSize]byte{}, frames[:1]...), frames[2:]...)
+	if _, err := FromFrames(lost); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("dropped frame: want ErrCorrupt, got %v", err)
+	}
+	// Reorder.
+	swapped := make([][StoragePacketSize]byte, len(frames))
+	copy(swapped, frames)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := FromFrames(swapped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reordered frames: want ErrCorrupt, got %v", err)
+	}
 }

@@ -55,8 +55,10 @@ func (t *Trace) Events() []Event {
 			}
 		}
 		// Output contents, when present, follow the input-start contents.
+		// Lossy (gap-region) packets carry no output contents: their end
+		// events surface with nil Content.
 		outContent := map[int][]byte{}
-		if m.ValidateOutputs {
+		if m.ValidateOutputs && !p.Lossy {
 			for _, ci := range m.OutputChannels() {
 				if p.Ends.Get(ci) {
 					outContent[ci] = p.Contents[k]

@@ -37,6 +37,7 @@ import (
 	"vidi/internal/axi"
 	"vidi/internal/core"
 	"vidi/internal/eval"
+	"vidi/internal/fault"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
 	"vidi/internal/trace"
@@ -71,6 +72,15 @@ type (
 	Interface = axi.Interface
 	// ChannelInfo describes one monitored channel.
 	ChannelInfo = trace.ChannelInfo
+	// FaultPlan is a deterministic fault-injection schedule.
+	FaultPlan = fault.Plan
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = fault.Class
+	// DeadlockError is the structured watchdog error naming the in-flight
+	// channels; errors.Is(err, ErrDeadlock) still matches it.
+	DeadlockError = sim.DeadlockError
+	// Finding is one diagnosis derived from a report or run error.
+	Finding = core.Finding
 )
 
 // Shim modes.
@@ -84,6 +94,26 @@ const (
 const (
 	Input  = trace.Input
 	Output = trace.Output
+)
+
+// Injectable fault classes (see internal/fault).
+const (
+	LinkBrownout = fault.LinkBrownout
+	LinkOutage   = fault.LinkOutage
+	BitFlip      = fault.BitFlip
+	Truncate     = fault.Truncate
+	CPUStall     = fault.CPUStall
+	DMAHiccup    = fault.DMAHiccup
+)
+
+// Sentinel errors re-exported for errors.Is checks.
+var (
+	// ErrDeadlock matches the simulation watchdog's DeadlockError.
+	ErrDeadlock = sim.ErrDeadlock
+	// ErrCorrupt matches every detected-trace-corruption error.
+	ErrCorrupt = trace.ErrCorrupt
+	// ErrStoreFault matches a permanent trace-store transport failure.
+	ErrStoreFault = core.ErrStoreFault
 )
 
 // Constructors re-exported for building custom designs (see
@@ -103,6 +133,13 @@ var (
 	// Diagnose points a divergence report at its likely cycle-dependent
 	// root cause (§3.6's automated workflow).
 	Diagnose = core.Diagnose
+	// DiagnoseRunError interprets a run failure (structured deadlock, store
+	// transport fault, trace corruption) into findings.
+	DiagnoseRunError = core.DiagnoseRunError
+	// NewFaultPlan derives a deterministic fault schedule from a seed.
+	NewFaultPlan = fault.NewPlan
+	// FaultClasses lists every injectable fault class.
+	FaultClasses = fault.Classes
 	// MoveEndBefore reorders a trace's transaction end events (§5.3).
 	MoveEndBefore = core.MoveEndBefore
 	// SwapEnds exchanges two end events.
@@ -166,6 +203,25 @@ func WithBufferBytes(n int) Option {
 // whole shell. Use the same selection when replaying the resulting trace.
 func WithOnlyInterfaces(ifaces ...string) Option {
 	return func(rc *eval.RunConfig) { rc.OnlyInterfaces = ifaces }
+}
+
+// WithFaultPlan arms a deterministic fault-injection plan on the run:
+// storage-link brownouts and outages, host-agent stalls and DRAM hiccups
+// fire in the plan's seeded windows.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(rc *eval.RunConfig) { rc.FaultPlan = p }
+}
+
+// WithDegradedRecording lets recording shed output-validation contents
+// (lossy gap packets) instead of stalling the application when the trace
+// store cannot keep up for more than stallBudgetCycles consecutive cycles
+// (0 selects the default budget). Replay of a degraded trace stays exact;
+// Validate reports the gap transactions as unrecorded.
+func WithDegradedRecording(stallBudgetCycles int) Option {
+	return func(rc *eval.RunConfig) {
+		rc.DegradedRecording = true
+		rc.StallBudgetCycles = stallBudgetCycles
+	}
 }
 
 // Record runs the named bundled application with recording enabled
