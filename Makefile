@@ -25,8 +25,11 @@ test-race:
 ci: build vet test-short test-race
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
+# Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs scheduler)
+# so the kernel perf trajectory is tracked across PRs.
 bench:
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/vidi-bench -table kernel -reps 2 -json BENCH_kernel.json
 
 # Formatted paper-vs-measured tables (Table 1/2, Fig 7, §5.4, §6, sizes).
 tables:

@@ -10,7 +10,12 @@
 //	vidi-bench -table effectiveness  # §5.4 divergence experiment
 //	vidi-bench -table bandwidth      # §6 back-of-the-envelope analysis
 //	vidi-bench -table faults         # fault-injection resilience matrix
+//	vidi-bench -table kernel         # simulation-kernel throughput (legacy vs scheduler)
+//	vidi-bench -table kernel -json BENCH_kernel.json   # + machine-readable artifact
 //	vidi-bench -all
+//
+// -v prints the simulation kernel's scheduler counters (eval calls, settle
+// waves, skipped evals, partitions) for every run it performs.
 package main
 
 import (
@@ -22,12 +27,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth, faults")
+	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth, faults, kernel")
 	fig := flag.String("fig", "", "figure to regenerate: 7")
 	all := flag.Bool("all", false, "regenerate everything")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "paired R1/R2 runs per app for overhead statistics (paper uses 10)")
 	seed := flag.Int64("seed", 1000, "base seed")
+	verbose := flag.Bool("v", false, "print per-run simulation-kernel scheduler counters")
+	jsonOut := flag.String("json", "", "with -table kernel: also write the rows to this JSON file")
 	flag.Parse()
 
 	ran := false
@@ -88,11 +95,47 @@ func main() {
 		fmt.Print(eval.FormatFaultMatrix(rows))
 		fmt.Println()
 	}
+	if *all || *table == "kernel" {
+		ran = true
+		fmt.Println("== Simulation-kernel throughput: legacy fixpoint vs sensitivity scheduler ==")
+		apps := append(eval.DefaultTableApps(), "dma-irq", "stress")
+		rows, stats, err := eval.KernelBench(apps, *scale, *reps, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(eval.FormatKernelBench(rows))
+		if *verbose {
+			for _, r := range rows {
+				st := stats[r.App]
+				fmt.Printf("  %-9s legacy    %v\n", r.App, st.Legacy)
+				fmt.Printf("  %-9s scheduler %v\n", r.App, st.Sched)
+			}
+		}
+		if *jsonOut != "" {
+			if err := eval.WriteKernelBenchJSON(*jsonOut, *scale, *reps, *seed, rows); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		fmt.Println()
+	}
 	if *all || *table == "bandwidth" {
 		ran = true
 		fmt.Println("== §6: physical-timestamp recording bandwidth analysis ==")
 		fmt.Println(eval.Section6())
 		fmt.Println()
+	}
+	if !ran && *verbose {
+		// Bare -v: one recording per app, printing the scheduler counters.
+		ran = true
+		fmt.Println("== Simulation-kernel scheduler counters (one R2 recording per app) ==")
+		for _, app := range append(eval.DefaultTableApps(), "dma-irq", "stress") {
+			res, err := eval.Run(eval.RunConfig{App: app, Scale: *scale, Seed: *seed, Cfg: eval.R2})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-9s %v\n", app, res.Stats)
+		}
 	}
 	if !ran {
 		flag.Usage()

@@ -141,6 +141,7 @@ func (a *dmaApp) Check() error {
 // through the internal DDR interface beat by beat, so that replaying the
 // shell interfaces genuinely recreates DDR traffic (§4.1).
 type dmaKernel struct {
+	sim.NullEval
 	pl         *Plumbing
 	interrupts bool
 	rd         *axi.ReadManager
@@ -158,6 +159,10 @@ func newDMAKernel(pl *Plumbing, interrupts bool) *dmaKernel {
 	k.rd = axi.NewReadManager("dma-kernel-rd", pl.Sys.DDR)
 	k.wr = axi.NewWriteManager("dma-kernel-wr", pl.Sys.DDR)
 	pl.Sys.Sim.Register(k.rd, k.wr)
+	// The kernel is started from the register hook, pushes DDR ops whose
+	// Done callbacks chain read→write, copies card DRAM on the fast path and
+	// raises interrupts from Tick.
+	pl.Sys.Sim.Tie(k, k.rd, k.wr, pl.Regs.Sub, pl.Irq, pl.PcisMem, pl.Sys.DDRSub)
 	return k
 }
 
@@ -172,9 +177,6 @@ func (k *dmaKernel) start(src, dst uint64, n int) {
 }
 
 func (k *dmaKernel) idle() bool { return !k.busy }
-
-// Eval implements sim.Module.
-func (k *dmaKernel) Eval() {}
 
 // Tick implements sim.Module.
 func (k *dmaKernel) Tick() {

@@ -3,6 +3,7 @@ package apps
 import (
 	"vidi/internal/axi"
 	"vidi/internal/shell"
+	"vidi/internal/sim"
 )
 
 // Kernel is the generic accelerator skeleton shared by the compute
@@ -19,6 +20,7 @@ import (
 // would spend cycles on, so the compute/IO ratios that drive the paper's
 // efficiency results are preserved.
 type Kernel struct {
+	sim.NullEval
 	name string
 	pl   *Plumbing
 
@@ -43,6 +45,10 @@ func NewKernel(name string, pl *Plumbing) *Kernel {
 			k.start()
 		}
 	}
+	// The kernel is started from the register file's write hook, reads and
+	// writes card DRAM (shared with the pcis window and DDR controller), and
+	// pushes to the pcim writer and IRQ sender from Tick.
+	pl.Sys.Sim.Tie(k, pl.Regs.Sub, pl.Pcim, pl.Irq, pl.PcisMem, pl.Sys.DDRSub)
 	return k
 }
 
@@ -63,9 +69,6 @@ func (k *Kernel) Idle() bool { return !k.busy && k.pl.Pcim.Idle() && k.pl.Irq.Id
 
 // Runs counts completed kernel invocations.
 func (k *Kernel) Runs() int { return k.runs }
-
-// Eval implements sim.Module.
-func (k *Kernel) Eval() {}
 
 // Tick implements sim.Module.
 func (k *Kernel) Tick() {

@@ -50,6 +50,10 @@ func (a *stressApp) Build(sys *shell.System) {
 	a.pl = BuildPlumbing(sys)
 	a.core = &stressCore{pl: a.pl}
 	sys.Sim.Register(a.core)
+	// The core is fed by write hooks on all three register files and flushes
+	// through card DRAM, the pcim writer and the IRQ sender.
+	sys.Sim.Tie(a.core, a.pl.Regs.Sub, a.pl.SDARegs.Sub, a.pl.BAR1Regs.Sub,
+		a.pl.Pcim, a.pl.Irq, a.pl.PcisMem, sys.DDRSub)
 	// Every MMIO write on any bus feeds the checksum, tagged by bus.
 	hook := func(tag uint32) func(uint64, uint32) {
 		return func(addr uint64, val uint32) {
@@ -111,6 +115,7 @@ func (a *stressApp) Check() error {
 // stressCore folds observed traffic into an order-sensitive digest and
 // streams snapshots to host DRAM.
 type stressCore struct {
+	sim.NullEval
 	pl      *Plumbing
 	digest  uint32
 	folds   uint64
@@ -142,9 +147,6 @@ func (c *stressCore) flush() {
 	c.flushes++
 	c.pl.RaiseIRQ(1)
 }
-
-// Eval implements sim.Module.
-func (c *stressCore) Eval() {}
 
 // Tick implements sim.Module.
 func (c *stressCore) Tick() {}

@@ -54,6 +54,24 @@ type Interface struct {
 	R    *sim.Channel
 }
 
+// WriteManagerDrives returns the signals the manager side of the write
+// channels drives, for Sensitivity declarations.
+func (i *Interface) WriteManagerDrives() []sim.Signal {
+	return []sim.Signal{i.AW.Valid, i.AW.Data, i.W.Valid, i.W.Data, i.B.Ready}
+}
+
+// ReadManagerDrives returns the signals the manager side of the read
+// channels drives.
+func (i *Interface) ReadManagerDrives() []sim.Signal {
+	return []sim.Signal{i.AR.Valid, i.AR.Data, i.R.Ready}
+}
+
+// SubordinateDrives returns the signals the subordinate side drives across
+// all five channels.
+func (i *Interface) SubordinateDrives() []sim.Signal {
+	return []sim.Signal{i.AW.Ready, i.W.Ready, i.B.Valid, i.B.Data, i.AR.Ready, i.R.Valid, i.R.Data}
+}
+
 // NewLite creates an AXI-Lite interface named name.
 func NewLite(s *sim.Simulator, name string) *Interface {
 	return &Interface{

@@ -21,6 +21,10 @@ type ProtocolChecker struct {
 	chans []*sim.Channel
 	state []checkState
 	err   error
+
+	// tracked counts states with inFlight set, letting Check return without
+	// scanning on the (common) fully idle cycle.
+	tracked int
 }
 
 type checkState struct {
@@ -45,10 +49,21 @@ func (c *ProtocolChecker) Name() string { return c.name }
 // Eval implements sim.Module.
 func (c *ProtocolChecker) Eval() {}
 
+// Sensitivity implements sim.Sensitive: the checker only observes settled
+// signals (Check runs after settle, Tick reads latched events), so it has
+// no combinational footprint and joins no partition.
+func (c *ProtocolChecker) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+// EvalStable implements sim.Stable.
+func (c *ProtocolChecker) EvalStable() bool { return true }
+
 // Check implements sim.Checker: it inspects the settled network each cycle.
 func (c *ProtocolChecker) Check() error {
 	if c.err != nil {
 		return c.err
+	}
+	if c.tracked == 0 {
+		return nil
 	}
 	for i, ch := range c.chans {
 		st := &c.state[i]
@@ -70,6 +85,7 @@ func (c *ProtocolChecker) Check() error {
 // Tick implements sim.Module: it snapshots in-flight transactions at the
 // clock edge.
 func (c *ProtocolChecker) Tick() {
+	c.tracked = 0
 	for i, ch := range c.chans {
 		st := &c.state[i]
 		if ch.InFlight() {
@@ -77,11 +93,20 @@ func (c *ProtocolChecker) Tick() {
 				st.data = ch.Data.Snapshot()
 			}
 			st.inFlight = true
+			c.tracked++
 		} else {
 			st.inFlight = false
 		}
 	}
 }
+
+// TickWatch implements sim.TickSensitive: tracking state only changes when a
+// transaction starts or completes on a watched channel.
+func (c *ProtocolChecker) TickWatch() []*sim.Channel { return c.chans }
+
+// TickStable implements sim.TickSensitive. Check still runs every cycle
+// against the latest snapshots; Tick itself only needs handshake edges.
+func (c *ProtocolChecker) TickStable() bool { return true }
 
 // Install registers the checker with the simulator as both module and
 // invariant.

@@ -1,5 +1,7 @@
 package axi
 
+import "vidi/internal/sim"
+
 // WriteOp is one write request issued by a WriteManager.
 type WriteOp struct {
 	Addr uint64
@@ -17,6 +19,7 @@ type WriteOp struct {
 // events can interleave in either order — the ordering freedom the AXI
 // protocol permits (§2.2 of the paper).
 type WriteManager struct {
+	sim.EvalTracker
 	name  string
 	iface *Interface
 
@@ -38,11 +41,30 @@ type WriteManager struct {
 
 	// Link, if non-nil, throttles data beats to the shared link bandwidth.
 	Link *TokenBucket
+
+	tickWake func()
 }
 
 // NewWriteManager creates a write manager for iface.
 func NewWriteManager(name string, iface *Interface) *WriteManager {
 	return &WriteManager{name: name, iface: iface}
+}
+
+// BindTickWake implements sim.TickWakeable.
+func (m *WriteManager) BindTickWake(wake func()) { m.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive: the manager reacts to handshakes
+// on its three channels.
+func (m *WriteManager) TickWatch() []*sim.Channel {
+	return []*sim.Channel{m.iface.AW, m.iface.W, m.iface.B}
+}
+
+// TickStable implements sim.TickSensitive. With empty queues and expired gap
+// timers, Tick only acts on watched handshake events; presenting a beat
+// (awActive/wActive) or awaiting a response (pending) needs no Tick until
+// the corresponding channel fires.
+func (m *WriteManager) TickStable() bool {
+	return len(m.awQueue) == 0 && len(m.wQueue) == 0 && m.awGap == 0 && m.wGap == 0
 }
 
 // Name implements sim.Module.
@@ -82,6 +104,9 @@ func (m *WriteManager) Push(op WriteOp) {
 		m.wQueue = append(m.wQueue, WPayload{Data: data, Strb: strb, Last: i == nbeats-1}.Encode(m.iface.Lite))
 	}
 	m.pending = append(m.pending, op.Done)
+	if m.tickWake != nil {
+		m.tickWake()
+	}
 }
 
 // Idle reports whether all pushed writes have fully completed.
@@ -102,10 +127,17 @@ func (m *WriteManager) Eval() {
 	m.iface.B.Ready.Set(true)
 }
 
+// Sensitivity implements sim.Sensitive: outputs are functions of registered
+// state only (the Link gates queue pops in Tick, not Eval).
+func (m *WriteManager) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: m.iface.WriteManagerDrives()}
+}
+
 // Tick implements sim.Module.
 func (m *WriteManager) Tick() {
 	if m.awActive && m.iface.AW.Fired() {
 		m.awActive = false
+		m.Touch()
 		if m.AWGap != nil {
 			m.awGap = m.AWGap()
 		}
@@ -117,10 +149,12 @@ func (m *WriteManager) Tick() {
 			m.awCur = m.awQueue[0]
 			m.awQueue = m.awQueue[1:]
 			m.awActive = true
+			m.Touch()
 		}
 	}
 	if m.wActive && m.iface.W.Fired() {
 		m.wActive = false
+		m.Touch()
 		if m.Link != nil {
 			m.Link.Spend(m.beatSize())
 		}
@@ -135,6 +169,7 @@ func (m *WriteManager) Tick() {
 			m.wCur = m.wQueue[0]
 			m.wQueue = m.wQueue[1:]
 			m.wActive = true
+			m.Touch()
 		}
 	}
 	if m.iface.B.Fired() && len(m.pending) > 0 {
@@ -156,8 +191,11 @@ type ReadOp struct {
 
 // ReadManager drives the AR/R channels of an interface as the manager side.
 type ReadManager struct {
+	sim.EvalTracker
 	name  string
 	iface *Interface
+
+	lastReady bool // R.Ready as last driven (tracks Link.Ok flips)
 
 	arQueue [][]byte
 	pending []*readState
@@ -171,6 +209,8 @@ type ReadManager struct {
 	// Link, if non-nil, throttles accepted read beats to the shared link
 	// bandwidth by gating R-side readiness.
 	Link *TokenBucket
+
+	tickWake func()
 }
 
 type readState struct {
@@ -202,6 +242,23 @@ func (m *ReadManager) Push(op ReadOp) {
 	}
 	m.arQueue = append(m.arQueue, ARPayload{Addr: op.Addr, Len: uint8(beats - 1)}.Encode(m.iface.Lite))
 	m.pending = append(m.pending, &readState{done: op.Done})
+	if m.tickWake != nil {
+		m.tickWake()
+	}
+}
+
+// BindTickWake implements sim.TickWakeable.
+func (m *ReadManager) BindTickWake(wake func()) { m.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive.
+func (m *ReadManager) TickWatch() []*sim.Channel {
+	return []*sim.Channel{m.iface.AR, m.iface.R}
+}
+
+// TickStable implements sim.TickSensitive: with no queued addresses and no
+// gap countdown, Tick only acts on AR/R handshake events.
+func (m *ReadManager) TickStable() bool {
+	return len(m.arQueue) == 0 && m.arGap == 0
 }
 
 // Idle reports whether all pushed reads have fully completed.
@@ -215,13 +272,35 @@ func (m *ReadManager) Eval() {
 	if m.arActive {
 		m.iface.AR.Data.Set(m.arCur)
 	}
-	m.iface.R.Ready.Set(m.Link == nil || m.Link.Ok())
+	ready := m.Link == nil || m.Link.Ok()
+	m.iface.R.Ready.Set(ready)
+	m.lastReady = ready
 }
+
+// Sensitivity implements sim.Sensitive.
+func (m *ReadManager) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: m.iface.ReadManagerDrives()}
+}
+
+// EvalStable implements sim.Stable: stable unless registered state changed
+// or the shared link crossed its readiness threshold since the last Eval.
+func (m *ReadManager) EvalStable() bool {
+	if !m.EvalTracker.EvalStable() {
+		return false
+	}
+	return m.Link == nil || m.Link.Ok() == m.lastReady
+}
+
+// NeedsStablePoll implements sim.StablePoll: with a shared link attached,
+// R-side readiness depends on the bucket balance, which other modules spend
+// from outside this manager's Touch protocol.
+func (m *ReadManager) NeedsStablePoll() bool { return m.Link != nil }
 
 // Tick implements sim.Module.
 func (m *ReadManager) Tick() {
 	if m.arActive && m.iface.AR.Fired() {
 		m.arActive = false
+		m.Touch()
 		if m.ARGap != nil {
 			m.arGap = m.ARGap()
 		}
@@ -233,6 +312,7 @@ func (m *ReadManager) Tick() {
 			m.arCur = m.arQueue[0]
 			m.arQueue = m.arQueue[1:]
 			m.arActive = true
+			m.Touch()
 		}
 	}
 	if m.iface.R.Fired() && len(m.pending) > 0 {
@@ -260,10 +340,13 @@ func (m *ReadManager) Tick() {
 // the application's own traffic and Vidi's trace store (§5.5's source of
 // recording overhead).
 type TokenBucket struct {
+	sim.NullEval
 	name       string
 	BytesPerCy float64
 	MaxBurst   float64
 	balance    float64
+
+	tickWake func()
 }
 
 // NewTokenBucket creates a bucket replenished at rate bytes/cycle with the
@@ -279,10 +362,14 @@ func (t *TokenBucket) Name() string { return t.name }
 func (t *TokenBucket) Ok() bool { return t.balance >= 0 }
 
 // Spend debits n bytes. Call from Tick after observing a fired beat.
-func (t *TokenBucket) Spend(n int) { t.balance -= float64(n) }
-
-// Eval implements sim.Module.
-func (t *TokenBucket) Eval() {}
+// Spenders must be tied into the bucket's partition (sim.Simulator.Tie):
+// the balance is shared Go state the sensitivity graph cannot see.
+func (t *TokenBucket) Spend(n int) {
+	t.balance -= float64(n)
+	if t.tickWake != nil {
+		t.tickWake()
+	}
+}
 
 // Tick implements sim.Module.
 func (t *TokenBucket) Tick() {
@@ -292,14 +379,28 @@ func (t *TokenBucket) Tick() {
 	}
 }
 
+// BindTickWake implements sim.TickWakeable.
+func (t *TokenBucket) BindTickWake(wake func()) { t.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive: the bucket has no channels of its
+// own; Spend wakes it.
+func (t *TokenBucket) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive: replenishing a full bucket is a
+// no-op, so the bucket sleeps until someone spends from it.
+func (t *TokenBucket) TickStable() bool { return t.balance >= t.MaxBurst }
+
 // MemSubordinate serves the subordinate side of an interface from a backing
 // Mem: it accepts writes (AW+W, responding on B only after both the address
 // and all data beats have completed — the ordering requirement of Fig 2) and
 // reads (AR, streaming beats on R).
 type MemSubordinate struct {
+	sim.EvalTracker
 	name  string
 	iface *Interface
 	mem   Mem
+
+	lastWReady bool // W.Ready as last driven (tracks Link.Ok flips)
 
 	// Link, if non-nil, throttles data beats to the link's bandwidth.
 	Link *TokenBucket
@@ -355,7 +456,9 @@ func (s *MemSubordinate) haveCompleteBurst() bool {
 func (s *MemSubordinate) Eval() {
 	linkOK := s.Link == nil || s.Link.Ok()
 	s.iface.AW.Ready.Set(len(s.awBuf) < 4)
-	s.iface.W.Ready.Set(len(s.wBuf) < 64 && linkOK)
+	wReady := len(s.wBuf) < 64 && linkOK
+	s.iface.W.Ready.Set(wReady)
+	s.lastWReady = wReady
 	s.iface.B.Valid.Set(s.bActive)
 	if s.bActive {
 		s.iface.B.Data.Set(BPayload{Resp: RespOKAY}.Encode())
@@ -369,8 +472,51 @@ func (s *MemSubordinate) Eval() {
 	}
 }
 
+// Sensitivity implements sim.Sensitive.
+func (s *MemSubordinate) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: s.iface.SubordinateDrives()}
+}
+
+// busy reports whether any buffered or in-flight work could change Eval's
+// outputs at the next clock edge.
+func (s *MemSubordinate) busy() bool {
+	return len(s.awBuf) > 0 || len(s.wBuf) > 0 || s.bActive || s.bDelay > 0 ||
+		len(s.rq) > 0 || len(s.rBeats) > 0 || s.rActive || s.rDelay > 0
+}
+
+// EvalStable implements sim.Stable.
+func (s *MemSubordinate) EvalStable() bool {
+	if !s.EvalTracker.EvalStable() {
+		return false
+	}
+	return s.Link == nil || (len(s.wBuf) < 64 && s.Link.Ok()) == s.lastWReady
+}
+
+// NeedsStablePoll implements sim.StablePoll: W-side readiness tracks the
+// shared link balance, which changes outside this subordinate's own Ticks.
+func (s *MemSubordinate) NeedsStablePoll() bool { return s.Link != nil }
+
+// TickWatch implements sim.TickSensitive: an idle subordinate only has to
+// wake for incoming requests; B and R cannot fire while it is idle.
+func (s *MemSubordinate) TickWatch() []*sim.Channel {
+	return []*sim.Channel{s.iface.AW, s.iface.W, s.iface.AR}
+}
+
+// TickStable implements sim.TickSensitive.
+func (s *MemSubordinate) TickStable() bool { return !s.busy() }
+
 // Tick implements sim.Module.
 func (s *MemSubordinate) Tick() {
+	// Conservative stability: re-evaluate whenever work was or remains in
+	// flight (covers both activations and the final active→idle edge).
+	if s.busy() {
+		s.Touch()
+	}
+	defer func() {
+		if s.busy() {
+			s.Touch()
+		}
+	}()
 	// Accept address and data beats.
 	if s.iface.AW.Fired() {
 		s.awBuf = append(s.awBuf, DecodeAW(s.iface.AW.Data.Get(), s.iface.Lite))
@@ -461,6 +607,7 @@ func (s *MemSubordinate) Tick() {
 // reads at 4-byte granularity are dispatched to callbacks. It is the typical
 // FPGA-side endpoint of the ocl/sda/bar1 MMIO buses.
 type RegSubordinate struct {
+	sim.EvalTracker
 	name  string
 	iface *Interface
 
@@ -501,8 +648,35 @@ func (s *RegSubordinate) Eval() {
 	}
 }
 
+// Sensitivity implements sim.Sensitive. The OnWrite/OnRead callbacks run at
+// Tick time and often mutate another module's state; wiring code must Tie
+// the register file to those modules.
+func (s *RegSubordinate) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: s.iface.SubordinateDrives()}
+}
+
+func (s *RegSubordinate) busy() bool {
+	return len(s.awBuf) > 0 || len(s.wBuf) > 0 || s.bActive || len(s.rq) > 0 || s.rActive
+}
+
+// TickWatch implements sim.TickSensitive.
+func (s *RegSubordinate) TickWatch() []*sim.Channel {
+	return []*sim.Channel{s.iface.AW, s.iface.W, s.iface.AR}
+}
+
+// TickStable implements sim.TickSensitive.
+func (s *RegSubordinate) TickStable() bool { return !s.busy() }
+
 // Tick implements sim.Module.
 func (s *RegSubordinate) Tick() {
+	if s.busy() {
+		s.Touch()
+	}
+	defer func() {
+		if s.busy() {
+			s.Touch()
+		}
+	}()
 	if s.iface.AW.Fired() {
 		s.awBuf = append(s.awBuf, DecodeAW(s.iface.AW.Data.Get(), true))
 	}

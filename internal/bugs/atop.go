@@ -15,6 +15,7 @@ import (
 // interleaving Vidi's trace mutation synthesizes — and then the buggy
 // filter deadlocks.
 type AtopFilter struct {
+	sim.EvalTracker
 	// Buggy selects the deadlocking revision.
 	Buggy bool
 
@@ -61,8 +62,33 @@ func (f *AtopFilter) Eval() {
 	}
 }
 
+// Sensitivity implements sim.Sensitive: the B path is a combinational
+// passthrough; everything else is driven from registered state.
+func (f *AtopFilter) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{
+		Reads: []sim.Signal{f.down.B.Valid, f.down.B.Data, f.up.B.Ready},
+		Drives: []sim.Signal{
+			f.up.AW.Ready, f.up.W.Ready, f.up.B.Valid, f.up.B.Data, f.down.B.Ready,
+			f.down.AW.Valid, f.down.AW.Data, f.down.W.Valid, f.down.W.Data,
+		},
+	}
+}
+
+// busy reports whether registered state could still change the outputs.
+func (f *AtopFilter) busy() bool {
+	return len(f.awQ) > 0 || len(f.wQ) > 0 || f.awActive || f.wActive
+}
+
 // Tick implements sim.Module.
 func (f *AtopFilter) Tick() {
+	if f.busy() {
+		f.Touch()
+	}
+	defer func() {
+		if f.busy() {
+			f.Touch()
+		}
+	}()
 	if f.up.AW.Fired() {
 		f.awQ = append(f.awQ, f.up.AW.Data.Snapshot())
 	}
@@ -153,6 +179,10 @@ func (a *PingPongApp) Build(sys *shell.System) {
 		}
 	}
 	sys.Sim.Register(regs)
+	// The register hook reads card DRAM (shared with the pcis window and DDR
+	// controller) and pushes pong writes whose Done callbacks count
+	// completions.
+	sys.Sim.Tie(a.pong, regs, a.pcisIn, sys.DDRSub)
 	for i, iface := range []*axi.Interface{sys.SDA, sys.BAR1} {
 		park := axi.NewRegSubordinate([]string{"sda-park", "bar1-park"}[i], iface)
 		sys.Sim.Register(park)

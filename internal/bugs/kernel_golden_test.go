@@ -1,0 +1,59 @@
+package bugs
+
+import (
+	"bytes"
+	"testing"
+
+	"vidi/internal/core"
+	"vidi/internal/shell"
+)
+
+// recordEchoTrace records the §5.2 echo server (delayed start, so the FIFO
+// bug fires) under the chosen kernel and returns the trace bytes.
+func recordEchoTrace(t *testing.T, legacy bool) []byte {
+	t.Helper()
+	app := &EchoApp{Frames: 12, DelayStart: 400}
+	sys := shell.NewSystem(shell.Config{Seed: 5, JitterMax: 4})
+	sys.Sim.SetLegacy(legacy)
+	app.Build(sys)
+	sh, err := core.NewShim(sys.Sim, sys.Boundary, core.Options{Mode: core.ModeRecord, ValidateOutputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Program(sys.CPU)
+	if _, err := sys.Sim.Run(3_000_000, func() bool { return sys.CPU.Done() && app.Done() }); err != nil {
+		t.Fatalf("echo (legacy=%v): %v", legacy, err)
+	}
+	return sh.Trace().Bytes()
+}
+
+// recordPingPongTrace records the §5.3 ping-pong server (fixed filter, so
+// the run completes) under the chosen kernel and returns the trace bytes.
+func recordPingPongTrace(t *testing.T, legacy bool) []byte {
+	t.Helper()
+	app := &PingPongApp{Pings: 6}
+	sys := shell.NewSystem(shell.Config{Seed: 9, JitterMax: 4})
+	sys.Sim.SetLegacy(legacy)
+	app.Build(sys)
+	sh, err := core.NewShim(sys.Sim, sys.Boundary, core.Options{Mode: core.ModeRecord, ValidateOutputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Program(sys.CPU)
+	if _, err := sys.Sim.Run(3_000_000, func() bool { return sys.CPU.Done() && app.Done() }); err != nil {
+		t.Fatalf("pingpong (legacy=%v): %v", legacy, err)
+	}
+	return sh.Trace().Bytes()
+}
+
+// TestCaseStudyKernelGolden pins both case-study designs to byte-identical
+// recorded traces on the legacy fixpoint kernel and the sensitivity
+// scheduler.
+func TestCaseStudyKernelGolden(t *testing.T) {
+	if ref, got := recordEchoTrace(t, true), recordEchoTrace(t, false); !bytes.Equal(ref, got) {
+		t.Errorf("echo traces differ: legacy %d bytes, scheduler %d bytes", len(ref), len(got))
+	}
+	if ref, got := recordPingPongTrace(t, true), recordPingPongTrace(t, false); !bytes.Equal(ref, got) {
+		t.Errorf("ping-pong traces differ: legacy %d bytes, scheduler %d bytes", len(ref), len(got))
+	}
+}

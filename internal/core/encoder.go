@@ -1,6 +1,7 @@
 package core
 
 import (
+	"vidi/internal/sim"
 	"vidi/internal/trace"
 )
 
@@ -27,6 +28,7 @@ const DefaultStallBudget = 64
 // Lossy gap marker; the encoder leaves lossy mode once the staging buffer
 // has drained back below a quarter of its capacity.
 type Encoder struct {
+	sim.NullEval
 	meta  *trace.Meta
 	store *Store
 
@@ -63,6 +65,17 @@ type Encoder struct {
 	stallStreak     int
 	deniedThisCycle bool
 
+	tickWake func()
+
+	// waiters are monitors whose Eval consulted the space accounting while an
+	// unforwarded start was pending. They are Touched (re-evaluated) when the
+	// accounting changes, then cleared; a still-waiting monitor re-enlists on
+	// its next Eval. lastFree/lastLossy are the values at the last
+	// notification point, so a no-op Tick does not wake anyone.
+	waiters   []*Monitor
+	lastFree  int
+	lastLossy bool
+
 	// The structured trace, for offline tooling and replay.
 	rec *trace.Trace
 
@@ -89,6 +102,7 @@ func NewEncoder(meta *trace.Meta, store *Store, bufBytes int) *Encoder {
 		endResv:     make([]int, n),
 		startResv:   make([]int, n),
 		rec:         trace.NewTrace(meta),
+		lastFree:    bufBytes,
 	}
 }
 
@@ -152,13 +166,66 @@ func (e *Encoder) CanAccept(ci int) bool {
 	if !ok {
 		e.Denials++
 		e.deniedThisCycle = true
+		e.wake()
 	}
 	return ok
+}
+
+// wake schedules the encoder's Tick for this cycle's clock edge.
+func (e *Encoder) wake() {
+	if e.tickWake != nil {
+		e.tickWake()
+	}
+}
+
+// enlistSpaceWaiter registers a monitor to be re-evaluated when the space
+// accounting changes. Idempotent per monitor; called from monitor Evals,
+// which run in the encoder's own partition.
+func (e *Encoder) enlistSpaceWaiter(m *Monitor) {
+	if !m.spaceWaiting {
+		m.spaceWaiting = true
+		e.waiters = append(e.waiters, m)
+	}
+}
+
+// notifySpaceChange Touches the enlisted monitors if the space accounting
+// moved since the last notification. CanAccept's answer is a function of the
+// free byte count and the lossy flag (which shrinks end-event needs), so
+// those are the signals compared. Runs at the end of Tick; every mutation of
+// used/reserved/lossy wakes the encoder, so no change can hide in a skipped
+// Tick.
+func (e *Encoder) notifySpaceChange() {
+	free := e.bufBytes - e.used - e.reserved
+	if free == e.lastFree && e.lossy == e.lastLossy {
+		return
+	}
+	e.lastFree, e.lastLossy = free, e.lossy
+	for _, m := range e.waiters {
+		m.spaceWaiting = false
+		m.Touch()
+	}
+	e.waiters = e.waiters[:0]
+}
+
+// BindTickWake implements sim.TickWakeable.
+func (e *Encoder) BindTickWake(wake func()) { e.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive: the encoder has no channels of its
+// own; monitors wake it by logging events and denials wake it from Eval.
+func (e *Encoder) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive: with an empty staging buffer, no
+// denial to account and neither ablation active, Tick is a no-op. The
+// degraded state machine judges buffer pressure every cycle, so degraded
+// recording never sleeps.
+func (e *Encoder) TickStable() bool {
+	return e.used == 0 && !e.deniedThisCycle && !e.EmitIdlePackets && !e.Degraded
 }
 
 // LogStart records a start event with content for channel ci in the current
 // cycle, consuming any start reservation. Called by monitors during Tick.
 func (e *Encoder) LogStart(ci int, content []byte) {
+	e.wake()
 	e.curStarts[ci] = true
 	e.curContents[ci] = content
 	if e.startResv[ci] > 0 {
@@ -168,11 +235,14 @@ func (e *Encoder) LogStart(ci int, content []byte) {
 }
 
 // ReserveStart pre-allocates space for an upcoming start event (the
-// store-and-forward monitor secures it one cycle ahead).
+// store-and-forward monitor secures it one cycle ahead). The reservation
+// shrinks free space, so the encoder must tick (and notify space waiters)
+// this cycle.
 func (e *Encoder) ReserveStart(ci int) {
 	if e.startResv[ci] == 0 {
 		e.startResv[ci] = e.startNeed(ci)
 		e.reserved += e.startResv[ci]
+		e.wake()
 	}
 }
 
@@ -182,6 +252,7 @@ func (e *Encoder) ReserveEnd(ci int) {
 	if e.endResv[ci] == 0 {
 		e.endResv[ci] = e.endNeed(ci)
 		e.reserved += e.endResv[ci]
+		e.wake()
 	}
 }
 
@@ -189,6 +260,7 @@ func (e *Encoder) ReserveEnd(ci int) {
 // consuming its reservation. content is non-nil only for output channels in
 // validation mode.
 func (e *Encoder) LogEnd(ci int, content []byte) {
+	e.wake()
 	e.curEnds[ci] = true
 	if content != nil {
 		e.curContents[ci] = content
@@ -198,9 +270,6 @@ func (e *Encoder) LogEnd(ci int, content []byte) {
 		e.endResv[ci] = 0
 	}
 }
-
-// Eval implements sim.Module.
-func (e *Encoder) Eval() {}
 
 // Tick implements sim.Module. Monitors tick before the encoder, so by now
 // the per-cycle builders hold all of this cycle's events.
@@ -273,6 +342,7 @@ func (e *Encoder) Tick() {
 		}
 	}
 	e.deniedThisCycle = false
+	e.notifySpaceChange()
 }
 
 // Trace returns the structured trace recorded so far.

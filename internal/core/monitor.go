@@ -23,6 +23,7 @@ import (
 // With a nil encoder the monitor degenerates to a transparent combinational
 // passthrough, which is Vidi's disabled (R1) configuration.
 type Monitor struct {
+	sim.EvalTracker
 	ci  int
 	bc  BoundaryChannel
 	enc *Encoder
@@ -30,6 +31,10 @@ type Monitor struct {
 	// forwarding is registered state: a transaction is in flight between
 	// the two sides.
 	forwarding bool
+
+	// spaceWaiting marks the monitor as enlisted in the encoder's waiter
+	// list; cleared when the encoder notifies a space-accounting change.
+	spaceWaiting bool
 
 	// storeAndForward, when set, delays the receiver-side start by one
 	// cycle after securing the encoder reservation, modelling the
@@ -72,13 +77,18 @@ func (m *Monitor) Eval() {
 		return
 	}
 	fwd := m.forwarding
-	if !fwd && from.Valid.Get() && m.enc.CanAccept(m.ci) {
-		if m.storeAndForward {
-			// The start is logged this cycle; forwarding begins next
-			// cycle (see Tick).
-			fwd = false
-		} else {
-			fwd = true
+	if !fwd && from.Valid.Get() {
+		// While an unforwarded start is waiting, the answer below depends on
+		// the encoder's space accounting; enlist so a change re-evaluates us.
+		m.enc.enlistSpaceWaiter(m)
+		if m.enc.CanAccept(m.ci) {
+			if m.storeAndForward {
+				// The start is logged this cycle; forwarding begins next
+				// cycle (see Tick).
+				fwd = false
+			} else {
+				fwd = true
+			}
 		}
 	}
 	to.Valid.Set(fwd)
@@ -87,6 +97,38 @@ func (m *Monitor) Eval() {
 	}
 	from.Ready.Set(fwd && to.Ready.Get())
 }
+
+// Sensitivity implements sim.Sensitive: the monitor is the combinational
+// bridge between the environment and application sides of its channel. The
+// recording path also consults the shared encoder from Eval, so the shim
+// ties all recording monitors and the encoder into one partition.
+func (m *Monitor) Sensitivity() sim.Sensitivity {
+	from, to := m.sides()
+	return sim.Sensitivity{
+		Reads:  []sim.Signal{from.Valid, from.Data, to.Ready},
+		Drives: []sim.Signal{to.Valid, to.Data, from.Ready},
+	}
+}
+
+// Eval stability is the embedded EvalTracker's: the recording path also
+// depends on the encoder's space accounting, but that dependency is
+// event-driven — the monitor enlists as a space waiter while an unforwarded
+// start is pending, and the encoder Touches enlisted monitors whenever the
+// accounting changes (see Encoder.notifySpaceChange). Everything else the
+// monitor reads is either a declared signal or registered state it Touches.
+
+// TickWatch implements sim.TickSensitive: the cut-through monitor's Tick
+// acts only on the receiver-side channel's handshake events.
+func (m *Monitor) TickWatch() []*sim.Channel {
+	_, to := m.sides()
+	return []*sim.Channel{to}
+}
+
+// TickStable implements sim.TickSensitive. The store-and-forward variant
+// polls from.Valid and the encoder's space accounting from Tick, so it can
+// never sleep; the passthrough and cut-through variants are pure reactions
+// to watched events.
+func (m *Monitor) TickStable() bool { return m.enc == nil || !m.storeAndForward }
 
 // Tick implements sim.Module.
 func (m *Monitor) Tick() {
@@ -101,11 +143,13 @@ func (m *Monitor) Tick() {
 		m.enc.ReserveEnd(m.ci)
 		m.reserved = true
 		m.forwarding = true
+		m.Touch()
 		return
 	}
 	if to.StartedNow() {
 		m.logEventStart(from)
 		m.forwarding = true
+		m.Touch()
 	}
 	if to.Fired() {
 		var content []byte
@@ -115,6 +159,7 @@ func (m *Monitor) Tick() {
 		m.enc.LogEnd(m.ci, content)
 		m.forwarding = false
 		m.reserved = false
+		m.Touch()
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"vidi/internal/sim"
 	"vidi/internal/trace"
 	"vidi/internal/vclock"
 )
@@ -16,6 +17,7 @@ import (
 // concurrent (same cycle packet) are re-offered in the same cycle rather
 // than skewed by module iteration order.
 type Coordinator struct {
+	sim.NullEval
 	tcur      vclock.Clock
 	replayers []*Replayer
 }
@@ -25,9 +27,6 @@ func NewCoordinator(n int) *Coordinator { return &Coordinator{tcur: vclock.New(n
 
 // Name implements sim.Module.
 func (c *Coordinator) Name() string { return "replay-coordinator" }
-
-// Eval implements sim.Module.
-func (c *Coordinator) Eval() {}
 
 // Tick implements sim.Module: it runs every replayer's processing phase
 // after all fire broadcasts of the cycle.
@@ -50,6 +49,7 @@ func (c *Coordinator) Current() vclock.Clock { return c.tcur }
 // sequence with private cursors, which is behaviourally the per-replayer
 // ⟨channel packet, Ends⟩ streams of the paper without duplicating the trace.
 type Decoder struct {
+	sim.NullEval
 	meta  *trace.Meta
 	tr    *trace.Trace
 	store *Store
@@ -66,9 +66,6 @@ func NewDecoder(tr *trace.Trace, store *Store) *Decoder {
 
 // Name implements sim.Module.
 func (d *Decoder) Name() string { return "trace-decoder" }
-
-// Eval implements sim.Module.
-func (d *Decoder) Eval() {}
 
 // Tick implements sim.Module: it releases every packet whose bytes have been
 // fetched from storage this cycle.
@@ -124,6 +121,7 @@ func (d *Decoder) ownPacket(pkt trace.CyclePacket, ci int) trace.ChannelPacket {
 // the recorded execution has completed in the replay — transaction
 // determinism.
 type Replayer struct {
+	sim.EvalTracker
 	ci    int
 	bc    BoundaryChannel
 	coord *Coordinator
@@ -173,6 +171,17 @@ func (r *Replayer) Eval() {
 	}
 }
 
+// Sensitivity implements sim.Sensitive: the replayer recreates the
+// environment side of its channel from registered state. Replayers also
+// share the coordinator's vector clock and the decoder's cursor state at
+// Tick time, so the shim ties the whole replay stack together.
+func (r *Replayer) Sensitivity() sim.Sensitivity {
+	if r.bc.Info.Dir == trace.Input {
+		return sim.Sensitivity{Drives: r.bc.Env.SenderSignals()}
+	}
+	return sim.Sensitivity{Drives: r.bc.Env.ReceiverSignals()}
+}
+
 // Tick implements sim.Module: phase A, observe completions on the
 // environment side and broadcast them. Item processing (phase B) runs from
 // the coordinator's Tick once every replayer has broadcast.
@@ -185,6 +194,7 @@ func (r *Replayer) Tick() {
 		} else {
 			r.ready = false
 		}
+		r.Touch()
 	}
 }
 
@@ -203,6 +213,7 @@ func (r *Replayer) process() {
 			r.cur = item.Content
 			r.active = true
 			r.startIssued = true
+			r.Touch()
 		}
 		if item.End {
 			if input {
@@ -217,6 +228,7 @@ func (r *Replayer) process() {
 				// asserting READY, then wait for the handshake.
 				if r.firedPending == 0 {
 					r.ready = true
+					r.Touch()
 					return
 				}
 				r.firedPending--

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vidi/internal/axi"
+	"vidi/internal/sim"
 )
 
 // ErrStoreFault is the sentinel for a trace-store transport failure that
@@ -54,6 +55,7 @@ const (
 // permanent StoreFaultError, which the shim surfaces through a simulation
 // checker so the run fails loudly instead of silently wedging.
 type Store struct {
+	sim.NullEval
 	// BytesPerCycle is the store's own maximum throughput per cycle.
 	BytesPerCycle int
 	// Link optionally models the shared PCIe link; bytes moved through the
@@ -72,12 +74,16 @@ type Store struct {
 	// failure (capped). Zero selects DefaultBackoffCycles.
 	BackoffCycles int
 
+	name string
+
 	budget int // remaining bytes this cycle
 
 	cycle        uint64 // store-local cycle counter (advanced by Tick)
 	backoffUntil uint64 // no transfers before this cycle (retry backoff)
 	failStreak   int    // consecutive failed transfer attempts
 	permErr      error  // non-nil once the retry budget is exhausted
+
+	tickWake func()
 
 	// StoredBytes counts all trace bytes moved to external storage.
 	StoredBytes uint64
@@ -90,11 +96,13 @@ type Store struct {
 
 // NewStore creates a store with the given drain bandwidth.
 func NewStore(bytesPerCycle int, link *axi.TokenBucket) *Store {
-	return &Store{BytesPerCycle: bytesPerCycle, Link: link}
+	return &Store{name: "trace-store", BytesPerCycle: bytesPerCycle, Link: link}
 }
 
-// Name implements sim.Module.
-func (s *Store) Name() string { return "trace-store" }
+// Name implements sim.Module. An R3 deployment (replay while re-recording)
+// owns two stores; the shim renames the replay-side one so module names
+// stay unique per simulator.
+func (s *Store) Name() string { return s.name }
 
 func (s *Store) maxRetries() int {
 	if s.MaxRetries > 0 {
@@ -118,6 +126,9 @@ func (s *Store) Err() error { return s.permErr }
 // fault state. It returns the number of bytes actually moved; a transient
 // transport fault moves nothing and schedules a backoff retry.
 func (s *Store) Accept(n int) int {
+	if s.tickWake != nil {
+		s.tickWake()
+	}
 	if s.permErr != nil {
 		return 0
 	}
@@ -160,15 +171,25 @@ func (s *Store) Accept(n int) int {
 	return n
 }
 
-// Eval implements sim.Module.
-func (s *Store) Eval() {}
-
 // Tick implements sim.Module: it replenishes the per-cycle budget and
 // advances the store-local cycle.
 func (s *Store) Tick() {
 	s.budget = s.BytesPerCycle
 	s.cycle++
 }
+
+// BindTickWake implements sim.TickWakeable; Accept wakes the store so the
+// budget it drew from is replenished on schedule.
+func (s *Store) BindTickWake(wake func()) { s.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive.
+func (s *Store) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive. Replenishing an untouched budget
+// is idempotent, so an idle store can sleep — except with fault injection,
+// where the store-local cycle counter (which drives FaultFn and retry
+// backoff) must advance every cycle.
+func (s *Store) TickStable() bool { return s.FaultFn == nil }
 
 // storeChecker surfaces a permanent store fault as a simulation error, so a
 // dead transport aborts the run with a typed error instead of wedging the

@@ -69,6 +69,13 @@ type RunConfig struct {
 	DegradedRecording bool
 	// StallBudgetCycles overrides the degradation stall budget when >0.
 	StallBudgetCycles int
+	// LegacyKernel selects the seed fixpoint simulation kernel instead of
+	// the sensitivity-graph scheduler, for golden-determinism comparison and
+	// the kernel perf table.
+	LegacyKernel bool
+	// Workers bounds the scheduler's partition worker pool when >0 (1 forces
+	// sequential partition evaluation).
+	Workers int
 }
 
 // RunResult is the outcome of one experiment run.
@@ -82,6 +89,8 @@ type RunResult struct {
 	// CheckErr is the application's golden-model verdict (nil in replay
 	// runs, where the environment-side data paths are not reconstructed).
 	CheckErr error
+	// Stats are the simulation kernel's scheduler counters for the run.
+	Stats sim.Stats
 }
 
 // Built is an assembled-but-not-run experiment, for tests that need to
@@ -123,6 +132,10 @@ func Build(rc RunConfig) (*Built, error) {
 		Seed:      rc.Seed,
 		JitterMax: jitter,
 	})
+	sys.Sim.SetLegacy(rc.LegacyKernel)
+	if rc.Workers > 0 {
+		sys.Sim.SetWorkers(rc.Workers)
+	}
 	app, err := apps.New(rc.App, rc.Scale)
 	if err != nil {
 		return nil, err
@@ -194,7 +207,10 @@ func (b *Built) Execute() (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s/%s: %w", b.rc.App, b.rc.Cfg, err)
 	}
-	res := &RunResult{App: b.App, Sys: b.Sys, Shim: b.Shim, Cycles: cycles, Trace: b.Shim.Trace()}
+	res := &RunResult{
+		App: b.App, Sys: b.Sys, Shim: b.Shim, Cycles: cycles,
+		Trace: b.Shim.Trace(), Stats: b.Sys.Sim.Stats(),
+	}
 	if b.rc.Cfg != R3 {
 		res.CheckErr = b.App.Check()
 	}

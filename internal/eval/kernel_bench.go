@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vidi/internal/sim"
+)
+
+// KernelBenchRow compares one application's R2 recording throughput under
+// the legacy re-evaluate-everything fixpoint kernel and the sensitivity-
+// graph scheduler, together with the scheduler counters explaining the
+// difference.
+type KernelBenchRow struct {
+	App       string  `json:"app"`
+	Cycles    uint64  `json:"cycles"`
+	LegacySec float64 `json:"legacy_sec"`
+	SchedSec  float64 `json:"sched_sec"`
+	LegacyCPS float64 `json:"legacy_cycles_per_sec"`
+	SchedCPS  float64 `json:"sched_cycles_per_sec"`
+	Speedup   float64 `json:"speedup"`
+
+	LegacyEvals  uint64 `json:"legacy_eval_calls"`
+	SchedEvals   uint64 `json:"sched_eval_calls"`
+	SkippedEvals uint64 `json:"sched_skipped_evals"`
+	SkippedTicks uint64 `json:"sched_skipped_ticks"`
+	Partitions   int    `json:"partitions"`
+	Workers      int    `json:"workers"`
+}
+
+// KernelStats holds the raw scheduler counters of the two runs behind a
+// row, for `vidi-bench -table kernel -v`.
+type KernelStats struct {
+	Legacy sim.Stats
+	Sched  sim.Stats
+}
+
+// KernelBench measures each application's R2 recording wall-clock under
+// both kernels and reports cycles/second and the speedup. reps repeats
+// each timed run and keeps the fastest (classic best-of-N to shed
+// scheduler/GC noise); the kernels must agree on the cycle count or the
+// row errors out — throughput comparisons between diverging executions
+// would be meaningless.
+func KernelBench(appNames []string, scale, reps int, seed int64) ([]KernelBenchRow, map[string]KernelStats, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	timed := func(app string, legacy bool) (time.Duration, *RunResult, error) {
+		best := time.Duration(0)
+		var res *RunResult
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			out, err := Run(RunConfig{App: app, Scale: scale, Seed: seed, Cfg: R2, LegacyKernel: legacy})
+			el := time.Since(start)
+			if err != nil {
+				return 0, nil, err
+			}
+			if out.CheckErr != nil {
+				return 0, nil, fmt.Errorf("%s golden check: %w", app, out.CheckErr)
+			}
+			if res == nil || el < best {
+				best, res = el, out
+			}
+		}
+		return best, res, nil
+	}
+	rows := make([]KernelBenchRow, 0, len(appNames))
+	stats := make(map[string]KernelStats, len(appNames))
+	for _, app := range appNames {
+		legDur, leg, err := timed(app, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernel bench %s legacy: %w", app, err)
+		}
+		schDur, sch, err := timed(app, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernel bench %s scheduler: %w", app, err)
+		}
+		if leg.Cycles != sch.Cycles {
+			return nil, nil, fmt.Errorf("kernel bench %s: kernels diverge (legacy %d cycles, scheduler %d)",
+				app, leg.Cycles, sch.Cycles)
+		}
+		row := KernelBenchRow{
+			App:       app,
+			Cycles:    leg.Cycles,
+			LegacySec: legDur.Seconds(),
+			SchedSec:  schDur.Seconds(),
+			LegacyCPS: float64(leg.Cycles) / legDur.Seconds(),
+			SchedCPS:  float64(sch.Cycles) / schDur.Seconds(),
+
+			LegacyEvals:  leg.Stats.EvalCalls,
+			SchedEvals:   sch.Stats.EvalCalls,
+			SkippedEvals: sch.Stats.SkippedEvals,
+			SkippedTicks: sch.Stats.SkippedTicks,
+			Partitions:   sch.Stats.Partitions,
+			Workers:      sch.Stats.Workers,
+		}
+		row.Speedup = row.SchedCPS / row.LegacyCPS
+		rows = append(rows, row)
+		stats[app] = KernelStats{Legacy: leg.Stats, Sched: sch.Stats}
+	}
+	return rows, stats, nil
+}
+
+// FormatKernelBench renders the kernel throughput table.
+func FormatKernelBench(rows []KernelBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %10s %14s %14s %8s %12s %12s %6s\n",
+		"App", "cycles", "legacy cyc/s", "sched cyc/s", "speedup", "legacy evals", "sched evals", "parts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %10d %14.0f %14.0f %7.2fx %12d %12d %6d\n",
+			r.App, r.Cycles, r.LegacyCPS, r.SchedCPS, r.Speedup, r.LegacyEvals, r.SchedEvals, r.Partitions)
+	}
+	return b.String()
+}
+
+// kernelBenchFile is the BENCH_kernel.json layout.
+type kernelBenchFile struct {
+	Scale int              `json:"scale"`
+	Reps  int              `json:"reps"`
+	Seed  int64            `json:"seed"`
+	Rows  []KernelBenchRow `json:"rows"`
+}
+
+// WriteKernelBenchJSON writes the rows (with their run parameters) as the
+// BENCH_kernel.json artifact consumed by CI's bench smoke job.
+func WriteKernelBenchJSON(path string, scale, reps int, seed int64, rows []KernelBenchRow) error {
+	buf, err := json.MarshalIndent(kernelBenchFile{Scale: scale, Reps: reps, Seed: seed, Rows: rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

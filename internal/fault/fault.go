@@ -198,22 +198,24 @@ func (p *Plan) String() string {
 // clock is a tiny module counting simulation cycles for the injectors. It
 // registers last, so injectors observing it act on the just-completed cycle
 // count — deterministic by registration order like everything else.
-type clock struct{ cycle uint64 }
+type clock struct {
+	sim.NullEval
+	cycle uint64
+}
 
 func (k *clock) Name() string { return "fault-clock" }
-func (k *clock) Eval()        {}
 func (k *clock) Tick()        { k.cycle++ }
 
 // starver drains a token bucket during its windows, leaving only
 // (1-Severity) of the replenish rate for real traffic.
 type starver struct {
+	sim.NullEval
 	k      *clock
 	spec   *Spec
 	bucket *axi.TokenBucket
 }
 
 func (s *starver) Name() string { return fmt.Sprintf("fault-%s", s.spec.Class) }
-func (s *starver) Eval()        {}
 func (s *starver) Tick() {
 	if s.spec.active(s.k.cycle) {
 		s.bucket.Spend(int(s.spec.Severity * s.bucket.BytesPerCy))
@@ -230,11 +232,17 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 	}
 	k := &clock{}
 	armed := false
+	// Injectors read the shared clock and mutate state owned by other
+	// modules' partitions; collect the tie groups and apply them once the
+	// clock is registered.
+	var ties [][]sim.Module
 	for i := range p.Specs {
 		s := &p.Specs[i]
 		switch s.Class {
 		case LinkBrownout:
-			sys.Sim.Register(&starver{k: k, spec: s, bucket: sys.PCIe})
+			sv := &starver{k: k, spec: s, bucket: sys.PCIe}
+			sys.Sim.Register(sv)
+			ties = append(ties, []sim.Module{k, sv, sys.PCIe})
 			armed = true
 		case LinkOutage:
 			if sh != nil && sh.Store() != nil {
@@ -246,6 +254,7 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 			if sys.CPU != nil {
 				spec := s
 				sys.CPU.StallFn = func() bool { return spec.active(k.cycle) }
+				ties = append(ties, []sim.Module{k, sys.CPU})
 				armed = true
 			}
 		case DMAHiccup:
@@ -262,11 +271,15 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 				}
 				return d
 			}
+			ties = append(ties, []sim.Module{k, sys.DDRSub})
 			armed = true
 		}
 	}
 	if armed {
 		sys.Sim.Register(k)
+		for _, t := range ties {
+			sys.Sim.Tie(t...)
+		}
 	}
 }
 

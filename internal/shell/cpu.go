@@ -36,6 +36,7 @@ func (b Bus) String() string {
 // seeded random delays modelling OS scheduling and PCIe timing noise — the
 // non-determinism that Vidi records.
 type CPU struct {
+	sim.NullEval
 	sys *System
 	rng *rand.Rand
 
@@ -53,6 +54,7 @@ type CPU struct {
 	StallFn func() bool
 
 	irqConsumed int
+	tickWake    func()
 }
 
 func newCPU(sys *System) *CPU {
@@ -82,6 +84,9 @@ type Thread struct {
 	ops  []op
 	busy bool
 	wait int
+	// irqWait parks the thread on WaitIRQ: it stays busy while the CPU's
+	// Tick polls the interrupt counter on its behalf.
+	irqWait bool
 }
 
 type op func(t *Thread) // issues the operation; completion clears t.busy
@@ -96,9 +101,6 @@ func (c *CPU) NewThread(name string) *Thread {
 // Name implements sim.Module.
 func (c *CPU) Name() string { return "cpu" }
 
-// Eval implements sim.Module.
-func (c *CPU) Eval() {}
-
 // Tick implements sim.Module: every idle thread issues its next operation,
 // after a seeded random delay.
 func (c *CPU) Tick() {
@@ -106,6 +108,16 @@ func (c *CPU) Tick() {
 		return
 	}
 	for _, t := range c.threads {
+		if t.irqWait {
+			// Parked on WaitIRQ: honour the issue-time jitter delay, then
+			// poll the interrupt counter until one can be consumed.
+			if t.wait > 0 {
+				t.wait--
+			} else if t.consumeIRQ() {
+				t.irqWait = false
+			}
+			continue
+		}
 		if t.busy || len(t.ops) == 0 {
 			continue
 		}
@@ -118,6 +130,35 @@ func (c *CPU) Tick() {
 		t.busy = true
 		next(t)
 	}
+}
+
+// BindTickWake implements sim.TickWakeable; completion callbacks and new
+// work wake the CPU for the cycle's clock edge.
+func (c *CPU) BindTickWake(wake func()) { c.tickWake = wake }
+
+// TickWatch implements sim.TickSensitive: an interrupt handshake can unpark
+// a WaitIRQ thread, and the sink that counts it ticks before the CPU.
+func (c *CPU) TickWatch() []*sim.Channel { return []*sim.Channel{c.sys.EnvIRQ} }
+
+// TickStable implements sim.TickSensitive: the CPU sleeps while every thread
+// is finished, blocked on an in-flight AXI operation (a manager Done
+// callback wakes it), or parked on WaitIRQ with no interrupt pending.
+func (c *CPU) TickStable() bool {
+	if c.StallFn != nil {
+		return false
+	}
+	for _, t := range c.threads {
+		if t.irqWait {
+			if t.wait > 0 || c.sys.IRQReceived > c.irqConsumed {
+				return false
+			}
+			continue
+		}
+		if !t.busy && len(t.ops) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Done reports whether every thread has drained its queue and completed its
@@ -144,11 +185,30 @@ func (t *Thread) enqueue(f op) *Thread {
 		tt.wait = tt.cpu.jitter()
 		f(tt)
 	})
+	if t.cpu.tickWake != nil {
+		t.cpu.tickWake()
+	}
 	return t
 }
 
-// done marks the in-flight operation complete.
-func (t *Thread) done() { t.busy = false }
+// done marks the in-flight operation complete. Completions arrive from
+// manager Ticks while the CPU may be asleep, so they wake it.
+func (t *Thread) done() {
+	t.busy = false
+	if t.cpu.tickWake != nil {
+		t.cpu.tickWake()
+	}
+}
+
+// consumeIRQ claims one pending interrupt, completing a WaitIRQ.
+func (t *Thread) consumeIRQ() bool {
+	if t.cpu.sys.IRQReceived > t.cpu.irqConsumed {
+		t.cpu.irqConsumed++
+		t.done()
+		return true
+	}
+	return false
+}
 
 // WriteReg enqueues a 32-bit MMIO register write.
 func (t *Thread) WriteReg(bus Bus, addr uint64, val uint32) *Thread {
@@ -258,30 +318,25 @@ func (t *Thread) Poll(bus Bus, addr uint64, interval int, until func(uint32) boo
 				// Re-poll after the interval: prepend a delay + retry.
 				tt.wait = interval
 				tt.ops = append([]op{func(*Thread) { attempt() }}, tt.ops...)
-				tt.busy = false
+				tt.done()
 			}})
 		}
 		// The first poll also waits out one interval.
 		tt.wait = interval
 		tt.ops = append([]op{func(*Thread) { attempt() }}, tt.ops...)
-		tt.busy = false
+		tt.done()
 	})
 }
 
-// WaitIRQ enqueues a wait for the next user interrupt.
+// WaitIRQ enqueues a wait for the next user interrupt. An unsatisfied wait
+// parks the thread (see Tick) instead of re-enqueueing a polling op, which
+// would allocate every cycle; the poll cycles are identical either way, and
+// no randomness is drawn while parked.
 func (t *Thread) WaitIRQ() *Thread {
 	return t.enqueue(func(tt *Thread) {
-		var check func()
-		check = func() {
-			if tt.cpu.sys.IRQReceived > tt.cpu.irqConsumed {
-				tt.cpu.irqConsumed++
-				tt.done()
-				return
-			}
-			tt.ops = append([]op{func(*Thread) { check() }}, tt.ops...)
-			tt.busy = false
+		if !tt.consumeIRQ() {
+			tt.irqWait = true
 		}
-		check()
 	})
 }
 
@@ -290,7 +345,7 @@ func (t *Thread) Sleep(cycles int) *Thread {
 	return t.enqueue(func(tt *Thread) {
 		tt.wait = cycles
 		tt.ops = append([]op{func(x *Thread) { x.done() }}, tt.ops...)
-		tt.busy = false
+		tt.done()
 	})
 }
 

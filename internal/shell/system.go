@@ -181,6 +181,15 @@ func (sys *System) buildEnvironment() {
 
 	sys.CPU = newCPU(sys)
 	s.Register(sys.CPU)
+
+	// The environment shares Go state invisible to the signal graph: the CPU
+	// pushes ops into its managers and their Done callbacks mutate thread
+	// state; the PCIe bucket is spent by the DMA managers, the host memory
+	// and (via the shim's own tie) the trace store; the IRQ sink increments
+	// the counter WaitIRQ polls. Tie it all into one partition.
+	c := sys.CPU
+	s.Tie(c, c.liteW[0], c.liteR[0], c.liteW[1], c.liteR[1], c.liteW[2], c.liteR[2],
+		c.dmaW, c.dmaR, sys.hostMem, irqRecv, sys.PCIe)
 }
 
 // irqSink accepts interrupt transactions on the environment side.
@@ -188,11 +197,27 @@ type irqSink struct{ sys *System }
 
 func (k *irqSink) Name() string { return "irq-sink" }
 func (k *irqSink) Eval()        { k.sys.EnvIRQ.Ready.Set(true) }
+
+// Sensitivity implements sim.Sensitive; the sink unconditionally asserts
+// READY, so it is a constant driver and always stable.
+func (k *irqSink) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: k.sys.EnvIRQ.ReceiverSignals()}
+}
+func (k *irqSink) EvalStable() bool { return true }
+
 func (k *irqSink) Tick() {
 	if k.sys.EnvIRQ.Fired() {
 		k.sys.IRQReceived++
 	}
 }
+
+// TickWatch implements sim.TickSensitive: the sink only counts interrupt
+// handshakes. It ticks before the CPU (registration order), so a delivery
+// is visible to WaitIRQ in the same cycle, as on the legacy kernel.
+func (k *irqSink) TickWatch() []*sim.Channel { return []*sim.Channel{k.sys.EnvIRQ} }
+
+// TickStable implements sim.TickSensitive.
+func (k *irqSink) TickStable() bool { return true }
 
 // Quiesced reports whether the environment has no outstanding work: every
 // CPU thread finished and all host engines are idle.

@@ -25,6 +25,10 @@ type Channel struct {
 	endCycle   uint64 // cycle at which the last transaction ended
 	starts     uint64 // total transactions started
 	ends       uint64 // total transactions completed
+
+	// watchers are the indices of TickSensitive modules to wake when a
+	// transaction starts or completes on this channel. Rebuilt by Build.
+	watchers []int32
 }
 
 // NewChannel creates a handshake channel with a data payload of width bytes.
@@ -42,6 +46,16 @@ func (s *Simulator) NewChannel(name string, width int) *Channel {
 
 // Name returns the channel's name.
 func (ch *Channel) Name() string { return ch.name }
+
+// SenderSignals returns the signals the sending side drives (Valid, Data),
+// for use in Sensitivity declarations.
+func (ch *Channel) SenderSignals() []Signal { return []Signal{ch.Valid, ch.Data} }
+
+// ReceiverSignals returns the signal the receiving side drives (Ready).
+func (ch *Channel) ReceiverSignals() []Signal { return []Signal{ch.Ready} }
+
+// Signals returns all three of the channel's signals.
+func (ch *Channel) Signals() []Signal { return []Signal{ch.Valid, ch.Ready, ch.Data} }
 
 // Width returns the payload width in bytes.
 func (ch *Channel) Width() int { return ch.width }

@@ -7,6 +7,7 @@ import "math/rand"
 // offered it stays stable until the handshake completes, as the protocol
 // requires.
 type Sender struct {
+	EvalTracker
 	name  string
 	ch    *Channel
 	queue [][]byte
@@ -18,6 +19,8 @@ type Sender struct {
 	// offering the next payload. It models sender-side timing jitter.
 	Gap func() int
 	gap int
+
+	tickWake func()
 }
 
 // NewSender creates a sender for ch. Payloads are offered in Push order.
@@ -33,6 +36,22 @@ func (s *Sender) Push(b []byte) {
 	c := make([]byte, len(b))
 	copy(c, b)
 	s.queue = append(s.queue, c)
+	if s.tickWake != nil {
+		s.tickWake()
+	}
+}
+
+// BindTickWake implements TickWakeable; Push wakes a sleeping sender.
+func (s *Sender) BindTickWake(wake func()) { s.tickWake = wake }
+
+// TickWatch implements TickSensitive.
+func (s *Sender) TickWatch() []*Channel { return []*Channel{s.ch} }
+
+// TickStable implements TickSensitive: an in-flight offer only needs a Tick
+// when its channel fires; a drained sender only when Push wakes it. A gap
+// countdown or queued payload keeps it awake.
+func (s *Sender) TickStable() bool {
+	return (s.active || len(s.queue) == 0) && s.gap == 0
 }
 
 // Pending reports the number of payloads not yet offered.
@@ -49,10 +68,17 @@ func (s *Sender) Eval() {
 	}
 }
 
+// Sensitivity implements Sensitive: outputs are a function of registered
+// state only.
+func (s *Sender) Sensitivity() Sensitivity {
+	return Sensitivity{Drives: s.ch.SenderSignals()}
+}
+
 // Tick implements Module.
 func (s *Sender) Tick() {
 	if s.active && s.ch.Fired() {
 		s.active = false
+		s.Touch()
 		if s.Gap != nil {
 			s.gap = s.Gap()
 		}
@@ -66,6 +92,7 @@ func (s *Sender) Tick() {
 			s.cur = s.queue[0]
 			s.queue = s.queue[1:]
 			s.active = true
+			s.Touch()
 		}
 	}
 }
@@ -74,6 +101,7 @@ func (s *Sender) Tick() {
 // payloads. Readiness is registered (decided at the previous clock edge) and
 // controlled by the Policy function, which models receiver-side jitter.
 type Receiver struct {
+	EvalTracker
 	name string
 	ch   *Channel
 
@@ -96,21 +124,40 @@ func (r *Receiver) Name() string { return r.name }
 // Eval implements Module.
 func (r *Receiver) Eval() { r.ch.Ready.Set(r.ready) }
 
+// Sensitivity implements Sensitive.
+func (r *Receiver) Sensitivity() Sensitivity {
+	return Sensitivity{Drives: r.ch.ReceiverSignals()}
+}
+
+// TickWatch implements TickSensitive.
+func (r *Receiver) TickWatch() []*Channel { return []*Channel{r.ch} }
+
+// TickStable implements TickSensitive: a jittered receiver draws from its
+// policy's random source every cycle, so it must never sleep (gating it
+// would change the stream); an always-ready receiver only reacts to fires.
+// A receiver left not-ready (by a policy later removed) stays awake until
+// it has re-asserted readiness.
+func (r *Receiver) TickStable() bool { return r.Policy == nil && r.ready }
+
 // Tick implements Module.
 func (r *Receiver) Tick() {
 	if r.ch.Fired() {
 		r.Received = append(r.Received, r.ch.Data.Snapshot())
 	}
+	next := true
 	if r.Policy != nil {
-		r.ready = r.Policy()
-	} else {
-		r.ready = true
+		next = r.Policy()
+	}
+	if next != r.ready {
+		r.ready = next
+		r.Touch()
 	}
 }
 
 // Fifo is a depth-bounded queue between an input and an output channel. It
 // acts as the receiver of in and the sender of out.
 type Fifo struct {
+	EvalTracker
 	name  string
 	in    *Channel
 	out   *Channel
@@ -138,13 +185,27 @@ func (f *Fifo) Eval() {
 	}
 }
 
+// Sensitivity implements Sensitive.
+func (f *Fifo) Sensitivity() Sensitivity {
+	return Sensitivity{Drives: []Signal{f.in.Ready, f.out.Valid, f.out.Data}}
+}
+
+// TickWatch implements TickSensitive.
+func (f *Fifo) TickWatch() []*Channel { return []*Channel{f.in, f.out} }
+
+// TickStable implements TickSensitive: the FIFO's Tick acts only on
+// handshake events of its two channels.
+func (f *Fifo) TickStable() bool { return true }
+
 // Tick implements Module.
 func (f *Fifo) Tick() {
 	if f.out.Fired() {
 		f.buf = f.buf[1:]
+		f.Touch()
 	}
 	if f.in.Fired() {
 		f.buf = append(f.buf, f.in.Data.Snapshot())
+		f.Touch()
 	}
 }
 

@@ -1,0 +1,787 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Signal is anything a module can declare in its Sensitivity: a *Wire or a
+// *Data. The interface is sealed (sigmeta is unexported) because the
+// scheduler owns the per-signal metadata.
+type Signal interface {
+	Name() string
+	sigmeta() *sigcore
+}
+
+// Sensitivity is a module's declared combinational footprint: the signals
+// its Eval reads and the signals its Eval drives. The scheduler uses Reads
+// to decide when a module must be re-evaluated and Reads+Drives to place
+// modules into independent partitions.
+//
+// A module whose Eval also depends on registered state (almost all Moore
+// machines: senders, FIFOs, AXI engines) should additionally implement
+// Stable so quiet cycles can skip its Eval entirely; see EvalTracker.
+//
+// Declaring too little is a correctness bug (stale outputs, and a data race
+// the -race golden tests will catch when partitions run in parallel);
+// declaring too much only costs performance. Modules that do not implement
+// Sensitive at all get the safe ReadsAll fallback: they are re-evaluated on
+// every settle wave and force the whole design into a single sequential
+// partition, which is exactly the legacy kernel's behaviour.
+type Sensitivity struct {
+	// ReadsAll marks a module that must be re-evaluated whenever anything
+	// in the design changes. It is the conservative fallback.
+	ReadsAll bool
+	// Reads lists the signals the module's Eval reads.
+	Reads []Signal
+	// Drives lists the signals the module's Eval writes.
+	Drives []Signal
+}
+
+// ReadsEverything is the explicit conservative sensitivity: re-evaluate the
+// module on every wave and keep the whole design in one partition.
+func ReadsEverything() Sensitivity { return Sensitivity{ReadsAll: true} }
+
+// Sensitive is a Module that declares its combinational footprint. Modules
+// that do not implement it are scheduled with the ReadsAll fallback.
+type Sensitive interface {
+	Module
+	Sensitivity() Sensitivity
+}
+
+// Stable is an optional extension: a module that can cheaply report whether
+// its Eval outputs could have changed since it last settled. When EvalStable
+// returns true and none of the module's declared Reads changed, the
+// scheduler skips the module's Eval for the cycle. Implementations must be
+// conservative: return false whenever registered state feeding Eval may
+// have changed.
+//
+// The scheduler learns about stability transitions through EvalTracker.Touch
+// (or through declared-signal changes); it does not poll EvalStable every
+// cycle. A module whose stability depends on state outside the Touch
+// protocol — e.g. a shared link whose readiness flips when other modules
+// spend from it — must additionally implement StablePoll so the scheduler
+// keeps consulting EvalStable at the start of every cycle.
+type Stable interface {
+	EvalStable() bool
+}
+
+// StablePoll marks a Stable module whose EvalStable answer can change
+// without a Touch or a declared-signal change. NeedsStablePoll is consulted
+// once at Build time; when it reports true the scheduler polls the module's
+// EvalStable at wave 0 of every cycle (the pre-refactor behaviour for all
+// modules). Returning false lets a configuration without the external
+// dependency (e.g. no shared link attached) skip the per-cycle poll.
+type StablePoll interface {
+	Stable
+	NeedsStablePoll() bool
+}
+
+// evalSettled lets the scheduler clear an EvalTracker after running Eval.
+// Only types embedding EvalTracker satisfy it.
+type evalSettled interface{ settleEval() }
+
+// TickSensitive is an optional Module extension for clock-edge gating: the
+// scheduler skips the module's Tick on cycles where nothing it watches
+// happened. The legacy kernel calls every Tick every cycle; this contract is
+// what lets the sensitivity scheduler beat it on quiet cycles.
+//
+// A gated module is woken (its next Tick runs) when a transaction starts or
+// completes on any channel in TickWatch, or when a collaborator calls the
+// wake hook installed via TickWakeable. After each Tick the scheduler asks
+// TickStable; returning false keeps the module awake for the next cycle, so
+// internal countdowns (gap timers, queued work) never need an external wake.
+//
+// Implementations must be conservative: TickStable must return false
+// whenever the next Tick could observe or mutate anything — and every
+// out-of-band mutation path (a queue Push, a callback, a shared counter)
+// must either wake the module or be visible to TickStable at the time the
+// module last ticked. Declaring too much wakefulness only costs performance;
+// declaring too little changes simulated behaviour.
+type TickSensitive interface {
+	Module
+	// TickWatch lists the channels whose handshake events (a transaction
+	// starting or completing at the clock edge) require this module's Tick.
+	TickWatch() []*Channel
+	// TickStable reports that the module's Tick is a no-op until an external
+	// event wakes it.
+	TickStable() bool
+}
+
+// TickWakeable is an optional extension for TickSensitive modules that are
+// mutated out-of-band (not through a watched channel): the scheduler installs
+// a wake hook at Build time, and the module (or its collaborators) calls it
+// whenever state requiring a Tick changes. The hook may only be called from
+// the module's own partition — same rule as any shared-Go-state coupling, so
+// a correct design's Tie declarations already guarantee it.
+type TickWakeable interface {
+	BindTickWake(wake func())
+}
+
+// EvalTracker is an embeddable helper implementing Stable: call Touch from
+// Tick (or any out-of-band mutator such as a queue Push) whenever registered
+// state that feeds Eval changes. The scheduler clears the flag each time it
+// runs the module's Eval.
+//
+// Touch may only be called from the module's own partition (its own Tick, a
+// tied collaborator, or outside a Step) — the same rule as any shared-Go-state
+// coupling, so a correct design's Tie declarations already guarantee it.
+type EvalTracker struct {
+	evalDirty bool
+	// hook, installed by Build, marks the module pending in the scheduler so
+	// wave-0 seeding does not have to poll every module's EvalStable.
+	hook func()
+}
+
+// Touch marks the module's Eval-visible state as changed.
+func (t *EvalTracker) Touch() {
+	t.evalDirty = true
+	if t.hook != nil {
+		t.hook()
+	}
+}
+
+// EvalStable implements Stable.
+func (t *EvalTracker) EvalStable() bool { return !t.evalDirty }
+
+func (t *EvalTracker) settleEval() { t.evalDirty = false }
+
+func (t *EvalTracker) bindEvalHook(h func()) { t.hook = h }
+
+// evalHooked lets Build install the pending-marking hook on EvalTracker
+// embedders.
+type evalHooked interface{ bindEvalHook(func()) }
+
+// NullEval is embeddable by modules whose Eval is a no-op (pure sequential
+// logic): it declares an empty sensitivity and permanent stability, so the
+// scheduler never re-evaluates them. Modules embedding it still need a Tie
+// if they share Go state with other modules' Eval or Tick.
+type NullEval struct{}
+
+// Eval implements Module as a no-op.
+func (NullEval) Eval() {}
+
+// Sensitivity implements Sensitive: no combinational reads or drives.
+func (NullEval) Sensitivity() Sensitivity { return Sensitivity{} }
+
+// EvalStable implements Stable: a no-op Eval never needs re-running.
+func (NullEval) EvalStable() bool { return true }
+
+// ErrDuplicateName is the sentinel wrapped by DuplicateNameError.
+var ErrDuplicateName = errors.New("sim: duplicate name")
+
+// DuplicateNameError is returned by Build when two modules, wires, data
+// buses or channels are registered under the same name. Names are the only
+// handle error messages, traces, and VCD dumps have on a design, so
+// collisions were previously a silent source of confusing diagnostics.
+type DuplicateNameError struct {
+	Kind string // "module", "wire", "data" or "channel"
+	Name string
+}
+
+// Error implements error.
+func (e *DuplicateNameError) Error() string {
+	return fmt.Sprintf("sim: duplicate %s name %q", e.Kind, e.Name)
+}
+
+// Unwrap keeps errors.Is(err, ErrDuplicateName) working.
+func (e *DuplicateNameError) Unwrap() error { return ErrDuplicateName }
+
+// Stats reports scheduler counters accumulated since the simulator was
+// created. SkippedEvals estimates the Eval calls the legacy fixpoint kernel
+// would have made that the sensitivity scheduler avoided.
+type Stats struct {
+	// Cycles is the number of completed clock cycles.
+	Cycles uint64
+	// EvalCalls is the number of Module.Eval invocations.
+	EvalCalls uint64
+	// SettleWaves is the total number of settle iterations (delta cycles)
+	// across all cycles and partitions.
+	SettleWaves uint64
+	// SkippedEvals counts module evaluations avoided by the dirty-set
+	// relative to the legacy re-evaluate-everything fixpoint.
+	SkippedEvals uint64
+	// SkippedTicks counts Tick calls avoided by clock-edge gating
+	// (TickSensitive modules asleep on quiet cycles).
+	SkippedTicks uint64
+	// Partitions is the number of independent components the sensitivity
+	// graph was split into at Build time (1 on the legacy kernel).
+	Partitions int
+	// Workers is the number of goroutines used per settle/tick phase
+	// (1 means fully sequential).
+	Workers int
+}
+
+// String formats the counters for vidi-bench -v.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d evals=%d waves=%d skipped=%d ticks-skipped=%d partitions=%d workers=%d",
+		st.Cycles, st.EvalCalls, st.SettleWaves, st.SkippedEvals, st.SkippedTicks, st.Partitions, st.Workers)
+}
+
+// modState is the scheduler's per-module bookkeeping.
+type modState struct {
+	m       Module
+	stable  Stable        // nil: always evaluate on wave 0
+	clear   evalSettled   // non-nil: reset the module's EvalTracker after Eval
+	ticks   TickSensitive // non-nil: Tick may be gated on quiet cycles
+	part    int32         // owning partition index
+	pending bool
+	// needsTick wakes a gated module for the next clock edge. Written by the
+	// latch phase (main goroutine), by wake hooks and by earlier Ticks of the
+	// same partition; all of those are ordered before the module's own tick
+	// slot, so no synchronisation is needed. Meaningful only when ticks is
+	// non-nil; paired with the partition's awake counter.
+	needsTick bool
+}
+
+// partition is one connected component of the sensitivity graph. Partitions
+// share no signals, so they settle and tick independently; determinism
+// follows because module order inside a partition is registration order and
+// the sequential phases (checkers, latch) run in fixed global order.
+type partition struct {
+	modules    []int32 // module indices, ascending (registration order)
+	allReaders []int32 // modules with the ReadsAll fallback, ascending
+	seedAlways []int32 // modules without Stable: evaluate on wave 0 every cycle
+	seedPoll   []int32 // StablePoll modules: EvalStable consulted every cycle
+
+	// ungated counts modules without tick gating; awake counts gated modules
+	// whose needsTick flag is set. When both are zero the whole tick phase is
+	// skipped for the partition.
+	ungated int
+	awake   int
+
+	pendingCount  int
+	changedInWave bool
+	err           error
+
+	// counters (read via Stats after phases complete)
+	evals     uint64
+	waves     uint64
+	skipped   uint64
+	tickSkips uint64
+
+	_ [24]byte // pad to reduce false sharing between parallel partitions
+}
+
+// scheduler is the sensitivity-graph engine built by Simulator.Build.
+type scheduler struct {
+	sim     *Simulator
+	mods    []modState
+	parts   []partition
+	workers int // effective worker count for parallel phases
+}
+
+// touched marks the readers of a changed signal pending. It runs on the
+// goroutine that is settling (or ticking) the signal's partition, or on the
+// caller's goroutine outside a Step; either way all of a signal's readers
+// live in the signal's own partition, so the pending bits are never shared
+// across workers.
+func (sc *scheduler) touched(g *sigcore) {
+	if g.part < 0 {
+		return
+	}
+	p := &sc.parts[g.part]
+	p.changedInWave = true
+	for _, mi := range g.readers {
+		ms := &sc.mods[mi]
+		if !ms.pending {
+			ms.pending = true
+			p.pendingCount++
+		}
+	}
+}
+
+// settlePart runs one cycle's combinational settle for a single partition:
+// a pending-set worklist processed in ascending module (registration) order,
+// bounded by maxIters waves so combinational loops are still detected.
+func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error {
+	// Wave 0 seeds: everything already pending (an input changed or the
+	// module was Touched last cycle), plus the modules that declare no
+	// stability at all and the few whose stability must be polled. Everything
+	// else is event-driven: Touch and signal changes mark pending directly.
+	for _, mi := range p.seedAlways {
+		ms := &sc.mods[mi]
+		if !ms.pending {
+			ms.pending = true
+			p.pendingCount++
+		}
+	}
+	for _, mi := range p.seedPoll {
+		ms := &sc.mods[mi]
+		if !ms.pending && !ms.stable.EvalStable() {
+			ms.pending = true
+			p.pendingCount++
+		}
+	}
+	for wave := 0; p.pendingCount > 0; wave++ {
+		if wave >= maxIters {
+			return fmt.Errorf("%w at cycle %d", ErrCombLoop, cycle)
+		}
+		p.changedInWave = false
+		evals := uint64(0)
+		for _, mi := range p.modules {
+			ms := &sc.mods[mi]
+			if !ms.pending {
+				continue
+			}
+			ms.pending = false
+			p.pendingCount--
+			ms.m.Eval()
+			if ms.clear != nil {
+				ms.clear.settleEval()
+			}
+			evals++
+		}
+		p.evals += evals
+		p.waves++
+		p.skipped += uint64(len(p.modules)) - evals
+		// A ReadsAll module re-evaluates on every wave in which anything
+		// in its partition changed, matching the legacy fixpoint.
+		if p.changedInWave {
+			for _, mi := range p.allReaders {
+				ms := &sc.mods[mi]
+				if !ms.pending {
+					ms.pending = true
+					p.pendingCount++
+				}
+			}
+		}
+	}
+	// The legacy kernel always runs one extra full pass per cycle: the final
+	// no-change confirmation (a quiet cycle is exactly one such pass).
+	p.skipped += uint64(len(p.modules))
+	return nil
+}
+
+// tickPart commits sequential state for one partition at the clock edge.
+// Gated modules sleep through quiet cycles; a wake flag set by an earlier
+// module's Tick in the same partition is honoured in the same cycle (the
+// flag is read at the module's own slot), while a wake from a later module
+// persists to the next cycle — in both cases exactly when the legacy
+// kernel's effect would land, because module order is registration order.
+func (sc *scheduler) tickPart(p *partition) {
+	if p.ungated == 0 && p.awake == 0 {
+		// Every module is gated and asleep: skip the scan entirely.
+		p.tickSkips += uint64(len(p.modules))
+		return
+	}
+	for _, mi := range p.modules {
+		ms := &sc.mods[mi]
+		if ms.ticks == nil {
+			ms.m.Tick()
+			continue
+		}
+		if !ms.needsTick {
+			p.tickSkips++
+			continue
+		}
+		ms.needsTick = false
+		p.awake--
+		ms.m.Tick()
+		// Re-arm unless the module's own Tick already did (via a self-wake
+		// hook, which keeps the awake counter consistent).
+		if !ms.needsTick && !ms.ticks.TickStable() {
+			ms.needsTick = true
+			p.awake++
+		}
+	}
+}
+
+// forEachPart runs fn over all partitions, in parallel when the design has
+// more than one partition and more than one worker. Work is distributed by
+// an atomic counter; that makes the partition→goroutine assignment
+// nondeterministic, but partitions are independent by construction, so
+// simulation results do not depend on it.
+func (sc *scheduler) forEachPart(fn func(p *partition)) {
+	n := len(sc.parts)
+	if n == 1 || sc.workers <= 1 {
+		for i := range sc.parts {
+			fn(&sc.parts[i])
+		}
+		return
+	}
+	w := sc.workers
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	worker := func() {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= n {
+				return
+			}
+			fn(&sc.parts[j])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+}
+
+// settle runs the combinational phase across all partitions. The first
+// error in partition order wins, keeping failures deterministic even when
+// partitions run concurrently.
+func (sc *scheduler) settle(cycle uint64, maxIters int) error {
+	sc.forEachPart(func(p *partition) {
+		p.err = sc.settlePart(p, cycle, maxIters)
+	})
+	for i := range sc.parts {
+		if err := sc.parts[i].err; err != nil {
+			sc.parts[i].err = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// tick runs the clock edge across all partitions.
+func (sc *scheduler) tick() {
+	sc.forEachPart(func(p *partition) { sc.tickPart(p) })
+}
+
+// counters sums the per-partition counters into st.
+func (sc *scheduler) counters(st *Stats) {
+	for i := range sc.parts {
+		p := &sc.parts[i]
+		st.EvalCalls += p.evals
+		st.SettleWaves += p.waves
+		st.SkippedEvals += p.skipped
+		st.SkippedTicks += p.tickSkips
+	}
+}
+
+// Tie forces the given modules into the same partition even though they
+// share no declared signals. Use it when modules communicate through shared
+// Go state the sensitivity graph cannot see — a shared memory model, a
+// token bucket spent from several Ticks, callback hooks that mutate another
+// module's registers. Tied modules settle and tick sequentially relative to
+// each other (in registration order), exactly as on the legacy kernel.
+func (s *Simulator) Tie(ms ...Module) {
+	if len(ms) < 2 {
+		return
+	}
+	s.ties = append(s.ties, ms)
+	s.invalidate()
+}
+
+// SetWorkers bounds the worker pool used for parallel partition evaluation.
+// n <= 0 restores the default (GOMAXPROCS, capped by the partition count);
+// n == 1 forces fully sequential execution.
+func (s *Simulator) SetWorkers(n int) {
+	s.workers = n
+	s.invalidate()
+}
+
+// SetLegacy selects the seed kernel: a global delta-cycle fixpoint that
+// re-evaluates every module until nothing changes. It is kept as the
+// reference implementation for the golden determinism tests and the
+// perf table; new code should leave the sensitivity scheduler enabled.
+func (s *Simulator) SetLegacy(legacy bool) {
+	s.legacy = legacy
+	s.invalidate()
+}
+
+// Legacy reports whether the legacy fixpoint kernel is selected.
+func (s *Simulator) Legacy() bool { return s.legacy }
+
+// invalidate discards the built schedule (folding its counters into the
+// simulator's running totals) so the next Step rebuilds it. Called whenever
+// the design changes: new modules, wires, channels, ties, or kernel knobs.
+func (s *Simulator) invalidate() {
+	if s.sched != nil {
+		s.sched.counters(&s.stats)
+		s.sched = nil
+	}
+	s.built = false
+}
+
+// checkNames enforces unique names per kind across the design.
+func (s *Simulator) checkNames() error {
+	check := func(kind string, names func(yield func(string) bool)) error {
+		seen := make(map[string]struct{})
+		var dup *DuplicateNameError
+		names(func(n string) bool {
+			if _, ok := seen[n]; ok {
+				dup = &DuplicateNameError{Kind: kind, Name: n}
+				return false
+			}
+			seen[n] = struct{}{}
+			return true
+		})
+		if dup != nil {
+			return dup
+		}
+		return nil
+	}
+	if err := check("module", func(yield func(string) bool) {
+		for _, m := range s.modules {
+			if !yield(m.Name()) {
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := check("wire", func(yield func(string) bool) {
+		for _, w := range s.wires {
+			if !yield(w.name) {
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if err := check("data", func(yield func(string) bool) {
+		for _, d := range s.datas {
+			if !yield(d.name) {
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	return check("channel", func(yield func(string) bool) {
+		for _, ch := range s.channels {
+			if !yield(ch.name) {
+				return
+			}
+		}
+	})
+}
+
+// Build validates the design (unique names, resolvable ties) and compiles
+// the sensitivity graph: per-signal reader lists, connected components via
+// union-find over modules and signals, and the partition schedule. Step
+// calls it lazily; call it directly to surface configuration errors early.
+func (s *Simulator) Build() error {
+	s.invalidate()
+	if err := s.checkNames(); err != nil {
+		return err
+	}
+	if s.legacy {
+		// The legacy kernel ticks everything every cycle and re-evaluates
+		// everything each wave; detach any wake or pending hooks left over
+		// from a previous scheduler build.
+		for _, m := range s.modules {
+			if w, ok := m.(TickWakeable); ok {
+				w.BindTickWake(nil)
+			}
+			if eh, ok := m.(evalHooked); ok {
+				eh.bindEvalHook(nil)
+			}
+		}
+		s.built = true
+		return nil
+	}
+
+	nm := len(s.modules)
+	sigs := make([]*sigcore, 0, len(s.wires)+len(s.datas))
+	for _, w := range s.wires {
+		sigs = append(sigs, &w.sigcore)
+	}
+	for _, d := range s.datas {
+		sigs = append(sigs, &d.sigcore)
+	}
+	for i, g := range sigs {
+		g.id = int32(i)
+		g.part = -1
+		g.readers = g.readers[:0]
+	}
+
+	// Union-find nodes: [0,nm) modules, [nm,nm+len(sigs)) signals, plus a
+	// virtual "everything" node that ReadsAll modules attach to.
+	all := nm + len(sigs)
+	parent := make([]int32, all+1)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	sens := make([]Sensitivity, nm)
+	haveAll := false
+	for i, m := range s.modules {
+		if sn, ok := m.(Sensitive); ok {
+			sens[i] = sn.Sensitivity()
+		} else {
+			sens[i] = ReadsEverything()
+		}
+		if sens[i].ReadsAll {
+			haveAll = true
+			union(int32(i), int32(all))
+			continue
+		}
+		for _, sg := range sens[i].Reads {
+			g := sg.sigmeta()
+			if g.sim != s {
+				return fmt.Errorf("sim: module %s reads signal %s of a different simulator", m.Name(), sg.Name())
+			}
+			g.readers = append(g.readers, int32(i))
+			union(int32(i), int32(nm)+g.id)
+		}
+		for _, sg := range sens[i].Drives {
+			g := sg.sigmeta()
+			if g.sim != s {
+				return fmt.Errorf("sim: module %s drives signal %s of a different simulator", m.Name(), sg.Name())
+			}
+			union(int32(i), int32(nm)+g.id)
+		}
+	}
+	if haveAll {
+		for _, g := range sigs {
+			union(int32(all), int32(nm)+g.id)
+		}
+	}
+	midx := make(map[Module]int32, nm)
+	for i, m := range s.modules {
+		midx[m] = int32(i)
+	}
+	for _, tie := range s.ties {
+		first, ok := midx[tie[0]]
+		if !ok {
+			return fmt.Errorf("sim: tie references unregistered module %s", tie[0].Name())
+		}
+		for _, m := range tie[1:] {
+			mi, ok := midx[m]
+			if !ok {
+				return fmt.Errorf("sim: tie references unregistered module %s", m.Name())
+			}
+			union(first, mi)
+		}
+	}
+
+	// Partitions in order of their lowest-index module, modules ascending
+	// inside each: evaluation order within a partition is registration
+	// order, same as the legacy kernel.
+	sc := &scheduler{sim: s, mods: make([]modState, nm)}
+	for _, ch := range s.channels {
+		ch.watchers = ch.watchers[:0]
+	}
+	compIdx := make(map[int32]int32)
+	for i, m := range s.modules {
+		root := find(int32(i))
+		pi, ok := compIdx[root]
+		if !ok {
+			pi = int32(len(sc.parts))
+			compIdx[root] = pi
+			sc.parts = append(sc.parts, partition{})
+		}
+		ms := &sc.mods[i]
+		ms.m = m
+		ms.part = pi
+		ms.pending = true // evaluate everything on the first cycle
+		if st, ok := m.(Stable); ok {
+			ms.stable = st
+		}
+		if cl, ok := m.(evalSettled); ok {
+			ms.clear = cl
+		}
+		p := &sc.parts[pi]
+		p.modules = append(p.modules, int32(i))
+		p.pendingCount++
+		if sens[i].ReadsAll {
+			p.allReaders = append(p.allReaders, int32(i))
+		}
+		// Wave-0 seeding class: no Stable at all → seed every cycle; a
+		// StablePoll module with an active external dependency → poll every
+		// cycle; everything else is event-driven via Touch and signal changes.
+		if ms.stable == nil {
+			p.seedAlways = append(p.seedAlways, int32(i))
+		} else if sp, ok := m.(StablePoll); ok && sp.NeedsStablePoll() {
+			p.seedPoll = append(p.seedPoll, int32(i))
+		}
+		if eh, ok := m.(evalHooked); ok {
+			st, pidx := ms, pi
+			eh.bindEvalHook(func() {
+				if !st.pending {
+					st.pending = true
+					sc.parts[pidx].pendingCount++
+				}
+			})
+		}
+		if ts, ok := m.(TickSensitive); ok {
+			ms.ticks = ts
+			ms.needsTick = true // tick everything on the first cycle
+			p.awake++
+			for _, ch := range ts.TickWatch() {
+				if ch != nil {
+					ch.watchers = append(ch.watchers, int32(i))
+				}
+			}
+		} else {
+			p.ungated++
+		}
+		if w, ok := m.(TickWakeable); ok {
+			if ms.ticks == nil {
+				// Ungated modules tick every cycle; a wake is meaningless.
+				w.BindTickWake(nil)
+			} else {
+				st, pidx := ms, pi
+				w.BindTickWake(func() {
+					if !st.needsTick {
+						st.needsTick = true
+						sc.parts[pidx].awake++
+					}
+				})
+			}
+		}
+	}
+	for _, g := range sigs {
+		if pi, ok := compIdx[find(int32(nm)+g.id)]; ok {
+			g.part = pi
+		}
+	}
+
+	sc.workers = s.workers
+	if sc.workers <= 0 {
+		sc.workers = runtime.GOMAXPROCS(0)
+	}
+	if sc.workers > len(sc.parts) {
+		sc.workers = len(sc.parts)
+	}
+	if sc.workers < 1 {
+		sc.workers = 1
+	}
+	s.sched = sc
+	s.built = true
+	return nil
+}
+
+// Stats returns the scheduler counters accumulated so far.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.cycle
+	if s.sched != nil {
+		s.sched.counters(&st)
+		st.Partitions = len(s.sched.parts)
+		st.Workers = s.sched.workers
+	} else {
+		st.Partitions = 1
+		st.Workers = 1
+	}
+	return st
+}

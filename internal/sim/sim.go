@@ -104,11 +104,25 @@ type Simulator struct {
 	checkers []Checker
 
 	cycle    uint64
-	changed  bool
 	maxIters int
 
-	// Watchdog state: cycle of the most recent channel fire.
-	lastFire uint64
+	// legacyChanged is the legacy kernel's global fixpoint flag.
+	legacyChanged bool
+	// legacy selects the seed fixpoint kernel instead of the sensitivity
+	// scheduler; see SetLegacy.
+	legacy bool
+
+	// Sensitivity-graph schedule, compiled lazily by Build.
+	built   bool
+	sched   *scheduler
+	ties    [][]Module
+	workers int
+	stats   Stats
+
+	// Watchdog state: cycle of the most recent channel fire, and a running
+	// count of in-flight transactions (maintained at the latch phase).
+	lastFire    uint64
+	inFlightCnt int
 	// WatchdogWindow is the number of consecutive cycles without any
 	// handshake completing after which Run reports ErrDeadlock while a
 	// transaction is in flight. Zero disables the watchdog.
@@ -127,6 +141,7 @@ func (s *Simulator) Cycle() uint64 { return s.cycle }
 // in registration order.
 func (s *Simulator) Register(ms ...Module) {
 	s.modules = append(s.modules, ms...)
+	s.invalidate()
 }
 
 // AddChecker installs a per-cycle invariant checker.
@@ -134,22 +149,20 @@ func (s *Simulator) AddChecker(cs ...Checker) {
 	s.checkers = append(s.checkers, cs...)
 }
 
-func (s *Simulator) markChanged() { s.changed = true }
-
 // Step advances the simulation by one clock cycle.
 func (s *Simulator) Step() error {
-	// Phase 1: combinational fixpoint.
-	for iter := 0; ; iter++ {
-		s.changed = false
-		for _, m := range s.modules {
-			m.Eval()
+	if !s.built {
+		if err := s.Build(); err != nil {
+			return err
 		}
-		if !s.changed {
-			break
+	}
+	// Phase 1: combinational settle.
+	if s.sched != nil {
+		if err := s.sched.settle(s.cycle, s.maxIters); err != nil {
+			return err
 		}
-		if iter >= s.maxIters {
-			return fmt.Errorf("%w at cycle %d", ErrCombLoop, s.cycle)
-		}
+	} else if err := s.settleLegacy(); err != nil {
+		return err
 	}
 	// Invariant checks see the settled network.
 	for _, c := range s.checkers {
@@ -157,22 +170,61 @@ func (s *Simulator) Step() error {
 			return fmt.Errorf("sim: cycle %d: checker %s: %w", s.cycle, c.Name(), err)
 		}
 	}
-	// Phase 2: clock edge. Latch handshake events, then tick modules.
+	// Phase 2: clock edge. Latch handshake events in channel creation
+	// order (always sequential — this is the fixed global order parallel
+	// partitions synchronise on), then tick modules. Handshake activity
+	// wakes the channel's gated watchers for this cycle's tick phase.
 	anyFire := false
 	for _, ch := range s.channels {
 		ch.latch(s.cycle)
+		if ch.startedNow {
+			s.inFlightCnt++
+		}
 		if ch.fired {
 			anyFire = true
+			s.inFlightCnt--
+		}
+		if (ch.fired || ch.startedNow) && s.sched != nil {
+			for _, mi := range ch.watchers {
+				ms := &s.sched.mods[mi]
+				if !ms.needsTick {
+					ms.needsTick = true
+					s.sched.parts[ms.part].awake++
+				}
+			}
 		}
 	}
 	if anyFire {
 		s.lastFire = s.cycle
 	}
-	for _, m := range s.modules {
-		m.Tick()
+	if s.sched != nil {
+		s.sched.tick()
+	} else {
+		for _, m := range s.modules {
+			m.Tick()
+		}
 	}
 	s.cycle++
 	return nil
+}
+
+// settleLegacy is the seed kernel's combinational phase: run every module's
+// Eval in registration order until no signal changes.
+func (s *Simulator) settleLegacy() error {
+	for iter := 0; ; iter++ {
+		s.legacyChanged = false
+		for _, m := range s.modules {
+			m.Eval()
+		}
+		s.stats.EvalCalls += uint64(len(s.modules))
+		s.stats.SettleWaves++
+		if !s.legacyChanged {
+			return nil
+		}
+		if iter >= s.maxIters {
+			return fmt.Errorf("%w at cycle %d", ErrCombLoop, s.cycle)
+		}
+	}
 }
 
 // Run steps the simulation until done returns true, the watchdog trips, or
@@ -196,14 +248,7 @@ func (s *Simulator) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	return s.cycle - start, fmt.Errorf("sim: run did not finish within %d cycles", maxCycles)
 }
 
-func (s *Simulator) anyInFlight() bool {
-	for _, ch := range s.channels {
-		if ch.inFlight {
-			return true
-		}
-	}
-	return false
-}
+func (s *Simulator) anyInFlight() bool { return s.inFlightCnt > 0 }
 
 // deadlockError builds the structured watchdog error from the in-flight
 // channels.

@@ -2,18 +2,43 @@ package sim
 
 import "bytes"
 
+// sigcore is the scheduler-facing metadata embedded in every signal (Wire
+// and Data): a dense id and partition assigned at Build time, plus the list
+// of modules whose Eval reads the signal. When a signal changes value the
+// scheduler marks those readers pending instead of re-running every module.
+type sigcore struct {
+	sim     *Simulator
+	id      int32
+	part    int32   // partition of the signal's component; -1 if unobserved
+	readers []int32 // module indices whose Eval reads this signal
+}
+
+func (g *sigcore) sigmeta() *sigcore { return g }
+
+// changed routes a value change either to the sensitivity scheduler (mark
+// readers pending) or, on the legacy kernel, to the global changed flag.
+func (g *sigcore) changed() {
+	if sc := g.sim.sched; sc != nil {
+		sc.touched(g)
+	} else {
+		g.sim.legacyChanged = true
+	}
+}
+
 // Wire is a single-bit signal. Writes take effect immediately within the
-// combinational phase; the simulator re-runs Eval until no wire changes.
+// combinational phase; the simulator re-evaluates the modules that read the
+// wire (or, on the legacy kernel, every module) until no wire changes.
 type Wire struct {
-	sim  *Simulator
+	sigcore
 	name string
 	val  bool
 }
 
 // NewWire creates a named single-bit wire.
 func (s *Simulator) NewWire(name string) *Wire {
-	w := &Wire{sim: s, name: name}
+	w := &Wire{sigcore: sigcore{sim: s}, name: name}
 	s.wires = append(s.wires, w)
+	s.invalidate()
 	return w
 }
 
@@ -24,18 +49,18 @@ func (w *Wire) Name() string { return w.name }
 func (w *Wire) Get() bool { return w.val }
 
 // Set drives the wire. A change of value re-triggers the combinational
-// fixpoint.
+// settle of the wire's readers.
 func (w *Wire) Set(v bool) {
 	if w.val != v {
 		w.val = v
-		w.sim.markChanged()
+		w.sigcore.changed()
 	}
 }
 
 // Data is a multi-byte bus (the DATA payload of a channel, an address bus,
 // and so on). Width is fixed at creation.
 type Data struct {
-	sim   *Simulator
+	sigcore
 	name  string
 	width int
 	val   []byte
@@ -43,8 +68,9 @@ type Data struct {
 
 // NewData creates a named bus of width bytes, initialised to zero.
 func (s *Simulator) NewData(name string, width int) *Data {
-	d := &Data{sim: s, name: name, width: width, val: make([]byte, width)}
+	d := &Data{sigcore: sigcore{sim: s}, name: name, width: width, val: make([]byte, width)}
 	s.datas = append(s.datas, d)
+	s.invalidate()
 	return d
 }
 
@@ -66,7 +92,8 @@ func (d *Data) Snapshot() []byte {
 }
 
 // Set drives the bus. b is copied; if b is shorter than the bus width the
-// remaining bytes are zeroed. A change of value re-triggers the fixpoint.
+// remaining bytes are zeroed. A change of value re-triggers the settle of
+// the bus's readers.
 func (d *Data) Set(b []byte) {
 	if len(b) > d.width {
 		b = b[:d.width]
@@ -78,7 +105,7 @@ func (d *Data) Set(b []byte) {
 	for i := len(b); i < d.width; i++ {
 		d.val[i] = 0
 	}
-	d.sim.markChanged()
+	d.sigcore.changed()
 }
 
 // SetUint64 drives the low 8 bytes of the bus little-endian (or fewer if the
