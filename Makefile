@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race ci bench tables examples fuzz clean
+.PHONY: all build vet fmt-check test test-short test-race race-golden fuzz-smoke ci bench tables examples fuzz clean
 
 all: build vet test
 
@@ -11,6 +11,10 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -21,8 +25,19 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
+# Kernel golden regressions and the fuzz-smoke seed batch under the race
+# detector: the two suites that exercise both kernels concurrently.
+race-golden:
+	$(GO) test -race -count=1 -run 'TestKernelGolden' ./internal/eval
+	$(GO) test -race -count=1 ./internal/fuzz
+
+# Differential conformance fuzzer: fresh seeds must run clean and every
+# checked-in corpus reproducer must still fail its recorded oracle.
+fuzz-smoke:
+	$(GO) run ./cmd/vidi-fuzz -seeds 50 -corpus internal/fuzz/corpus
+
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet test-short test-race
+ci: build vet fmt-check test-short test-race race-golden fuzz-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 # Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs scheduler)

@@ -1,0 +1,120 @@
+// vidi-fuzz is the differential conformance fuzzer's CLI. It generates
+// random-but-valid shell systems from seeds, runs each through the oracle
+// stack (kernel trace+VCD equality, record→replay exactness, protocol
+// cleanliness, end-to-end echo, §5.3 mutation probe), verifies the
+// checked-in regression corpus, and shrinks new failures to minimal
+// reproducers.
+//
+// Usage:
+//
+//	vidi-fuzz -seeds 200                      # fuzz 200 fresh seeds (must run clean on main)
+//	vidi-fuzz -duration 30s                   # fuzz until the time budget is spent
+//	vidi-fuzz -corpus internal/fuzz/corpus    # also re-verify the regression corpus
+//	vidi-fuzz -seeds 50 -shrink               # shrink any failing seed before reporting
+//	vidi-fuzz -seeds 100 -bugs -shrink        # bug-hunting mode: inject buggy components
+//
+// Exit status is non-zero when a fresh seed fails in clean mode or a corpus
+// entry stops reproducing its recorded failure. In -bugs mode failures are
+// the goal and do not affect the exit status; with -shrink and -corpus set,
+// shrunk finds are written to the corpus directory as found-<seed>.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vidi/internal/fuzz"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 50, "number of fresh seeds to fuzz")
+	seedBase := flag.Int64("seed", 1, "first seed value")
+	duration := flag.Duration("duration", 0, "fuzz until this much time elapsed (overrides -seeds)")
+	corpusDir := flag.String("corpus", "", "regression corpus directory to verify (and extend with -shrink -bugs)")
+	shrink := flag.Bool("shrink", false, "shrink failing seeds to minimal reproducers")
+	bugs := flag.Bool("bugs", false, "inject buggy case-study components (bug-hunting mode)")
+	verbose := flag.Bool("v", false, "print every seed's verdict")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vidi-fuzz:", err)
+		os.Exit(1)
+	}
+	bad := 0
+
+	// Regression corpus: every entry must still reproduce its recorded
+	// failure — losing one means an oracle or a detector regressed.
+	if *corpusDir != "" {
+		entries, err := fuzz.LoadCorpus(*corpusDir)
+		if err != nil {
+			fail(err)
+		}
+		for _, e := range entries {
+			out := fuzz.RunSeed(&e.Scenario)
+			switch {
+			case out.Failure == nil:
+				bad++
+				fmt.Printf("corpus %-12s LOST: no longer fails (want %s)\n", e.Name, e.Kind)
+			case out.Failure.Kind != e.Kind:
+				bad++
+				fmt.Printf("corpus %-12s CHANGED: fails with %s, want %s\n", e.Name, out.Failure.Kind, e.Kind)
+			default:
+				fmt.Printf("corpus %-12s ok: reproduces %s (size %d, shrunk from %d)\n",
+					e.Name, e.Kind, e.Scenario.Size(), e.OriginSize)
+			}
+		}
+	}
+
+	// Fresh seeds.
+	start := time.Now()
+	ran, found := 0, 0
+	for i := 0; ; i++ {
+		if *duration > 0 {
+			if time.Since(start) > *duration {
+				break
+			}
+		} else if i >= *seeds {
+			break
+		}
+		seed := *seedBase + int64(i)
+		sc := fuzz.Generate(seed, fuzz.GenOptions{InjectBugs: *bugs})
+		out := fuzz.RunSeed(sc)
+		ran++
+		if out.Failure == nil {
+			if *verbose {
+				fmt.Printf("seed %-6d ok (%d cycles)\n", seed, out.Cycles)
+			}
+			continue
+		}
+		found++
+		if !*bugs {
+			bad++
+		}
+		fmt.Printf("seed %-6d FAIL %v\n", seed, out.Failure)
+		if *shrink {
+			shrunk, runs := fuzz.Shrink(sc, out.Failure.Kind, nil)
+			js, _ := shrunk.MarshalIndent()
+			fmt.Printf("  shrunk %d → %d in %d runs:\n%s\n", sc.Size(), shrunk.Size(), runs, js)
+			if *corpusDir != "" {
+				e := &fuzz.CorpusEntry{
+					Name:       fmt.Sprintf("found-%d", seed),
+					Kind:       out.Failure.Kind,
+					OriginSeed: seed,
+					OriginSize: sc.Size(),
+					Scenario:   *shrunk,
+				}
+				if err := fuzz.WriteCorpus(*corpusDir, e); err != nil {
+					fail(err)
+				}
+				fmt.Printf("  saved %s/%s.json\n", *corpusDir, e.Name)
+			}
+		}
+	}
+
+	fmt.Printf("fuzzed %d seeds in %s: %d failing\n", ran, time.Since(start).Round(time.Millisecond), found)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,9 @@ func NewFrameFIFO(capacity int, buggy bool) *FrameFIFO {
 // Len reports the number of queued fragments.
 func (f *FrameFIFO) Len() int { return len(f.buf) }
 
+// Cap reports the fragment capacity.
+func (f *FrameFIFO) Cap() int { return f.capacity }
+
 // PushFrame enqueues a frame of fragments. It returns the number of
 // fragments actually accepted. The buggy variant claims to have accepted
 // the whole frame (returning len(frame)) while silently dropping the

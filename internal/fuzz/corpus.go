@@ -1,0 +1,71 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusEntry is one checked-in regression reproducer: a shrunk failing
+// scenario, the oracle it fails, and the provenance of the original find so
+// the shrink can be re-validated from scratch.
+type CorpusEntry struct {
+	// Name labels the entry (and its file: <name>.json).
+	Name string `json:"name"`
+	// Kind is the failure the scenario must still reproduce.
+	Kind FailureKind `json:"kind"`
+	// OriginSeed is the generator seed (bug-injection mode) that first
+	// produced the failure; OriginSize is that scenario's Size() before
+	// shrinking.
+	OriginSeed int64 `json:"origin_seed"`
+	OriginSize int   `json:"origin_size"`
+	// Scenario is the shrunk reproducer.
+	Scenario Scenario `json:"scenario"`
+}
+
+// WriteCorpus serializes entry to dir/<name>.json.
+func WriteCorpus(dir string, e *CorpusEntry) error {
+	if e.Name == "" {
+		return fmt.Errorf("fuzz: corpus entry needs a name")
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, e.Name+".json"), b, 0o644)
+}
+
+// LoadCorpus reads every *.json entry in dir, sorted by name.
+func LoadCorpus(dir string) ([]*CorpusEntry, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []*CorpusEntry
+	for _, path := range names {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		e := &CorpusEntry{}
+		if err := json.Unmarshal(b, e); err != nil {
+			return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+		}
+		if e.Name == "" {
+			e.Name = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		if err := e.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

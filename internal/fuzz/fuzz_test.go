@@ -1,0 +1,195 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed, GenOptions{InjectBugs: seed%2 == 0})
+		b := Generate(seed, GenOptions{InjectBugs: seed%2 == 0})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generator not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateCleanModeNeverInjectsBugs(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		sc := Generate(seed, GenOptions{})
+		if sc.FIFOBuggy || sc.Filter == "buggy" {
+			t.Fatalf("seed %d: clean-mode generator emitted a buggy component: %+v", seed, sc)
+		}
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := Generate(7, GenOptions{InjectBugs: true})
+	b, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*sc, back) {
+		t.Fatalf("JSON round trip changed the scenario:\n%+v\n%+v", sc, back)
+	}
+}
+
+// TestFuzzSmokeClean is the in-tree slice of the CI fuzz-smoke job: a batch
+// of clean-mode seeds must pass every oracle on a healthy tree.
+func TestFuzzSmokeClean(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 12
+	}
+	for seed := int64(0); seed < n; seed++ {
+		sc := Generate(seed, GenOptions{})
+		if out := RunSeed(sc); out.Failure != nil {
+			t.Errorf("seed %d: %v\nscenario: %+v", seed, out.Failure, sc)
+		}
+	}
+}
+
+// TestSameSeedSameTrace is the reproducibility audit at the harness level:
+// two record runs of the same scenario must produce byte-identical traces
+// and VCD dumps (without this property shrinking would be meaningless).
+func TestSameSeedSameTrace(t *testing.T) {
+	sc := Generate(3, GenOptions{})
+	a := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog})
+	b := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog})
+	if a.err != nil || b.err != nil {
+		t.Fatalf("runs errored: %v / %v", a.err, b.err)
+	}
+	if !bytes.Equal(a.tr.Bytes(), b.tr.Bytes()) {
+		t.Fatal("same scenario produced different traces")
+	}
+	if !bytes.Equal(a.vcd, b.vcd) {
+		t.Fatal("same scenario produced different VCD dumps")
+	}
+}
+
+// TestCorpusRediscoversCaseStudies pins the permanent regression corpus:
+// each checked-in shrunk reproducer must still fail its recorded oracle, and
+// the two entries must cover the two internal/bugs case studies.
+func TestCorpusRediscoversCaseStudies(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("expected ≥ 2 corpus entries, got %d", len(entries))
+	}
+	byName := map[string]*CorpusEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+		out := RunSeed(&e.Scenario)
+		if out.Failure == nil {
+			t.Errorf("corpus %s no longer fails (regression oracle lost)", e.Name)
+			continue
+		}
+		if out.Failure.Kind != e.Kind {
+			t.Errorf("corpus %s fails with %s, recorded %s", e.Name, out.Failure.Kind, e.Kind)
+		}
+	}
+	if e := byName["atop"]; e == nil || e.Scenario.Filter != "buggy" || e.Kind != FailMutation {
+		t.Error("corpus must pin the §5.3 atop-filter mutation deadlock")
+	}
+	if e := byName["framefifo"]; e == nil || !e.Scenario.FIFOBuggy || e.Kind != FailEcho {
+		t.Error("corpus must pin the §5.2 frame-FIFO data loss")
+	}
+}
+
+// TestCorpusShrunkFromOrigin re-derives each corpus entry's original failing
+// scenario from its recorded generator seed and checks the acceptance
+// criterion: the shrunk reproducer is at most half the original's size.
+func TestCorpusShrunkFromOrigin(t *testing.T) {
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		orig := Generate(e.OriginSeed, GenOptions{InjectBugs: true})
+		if orig.Size() != e.OriginSize {
+			t.Errorf("%s: origin seed %d now generates size %d, recorded %d",
+				e.Name, e.OriginSeed, orig.Size(), e.OriginSize)
+		}
+		out := RunSeed(orig)
+		if out.Failure == nil || out.Failure.Kind != e.Kind {
+			t.Errorf("%s: origin seed %d no longer fails with %s: %v",
+				e.Name, e.OriginSeed, e.Kind, out.Failure)
+			continue
+		}
+		if 2*e.Scenario.Size() > orig.Size() {
+			t.Errorf("%s: shrunk size %d not ≤ half of original %d",
+				e.Name, e.Scenario.Size(), orig.Size())
+		}
+	}
+}
+
+// TestShrinkPreservesFailureKind runs the full shrinker on one origin per
+// corpus entry and checks the result still fails identically and is no
+// larger than the checked-in reproducer.
+func TestShrinkPreservesFailureKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking runs dozens of simulations")
+	}
+	entries, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		orig := Generate(e.OriginSeed, GenOptions{InjectBugs: true})
+		shrunk, runs := Shrink(orig, e.Kind, nil)
+		out := RunSeed(shrunk)
+		if out.Failure == nil || out.Failure.Kind != e.Kind {
+			t.Errorf("%s: shrunk scenario lost the %s failure: %v", e.Name, e.Kind, out.Failure)
+		}
+		if shrunk.Size() > e.Scenario.Size() {
+			t.Errorf("%s: shrink regressed: size %d > corpus %d (after %d runs)",
+				e.Name, shrunk.Size(), e.Scenario.Size(), runs)
+		}
+	}
+}
+
+// TestOracleCatchesInjectedBugs drives the two bug knobs directly (outside
+// the generator) so each oracle's detection path is covered even if the
+// corpus entries change.
+func TestOracleCatchesInjectedBugs(t *testing.T) {
+	base := &Scenario{Seed: 11, Frames: 3, FIFOFrags: 16, DrainRate: 2}
+	t.Run("framefifo", func(t *testing.T) {
+		sc := base.clone()
+		sc.FIFOBuggy = true
+		sc.StartDelay = 200
+		out := RunSeed(sc)
+		if out.Failure == nil || out.Failure.Kind != FailEcho {
+			t.Fatalf("expected %s, got %v", FailEcho, out.Failure)
+		}
+	})
+	t.Run("atop", func(t *testing.T) {
+		sc := base.clone()
+		sc.Filter = "buggy"
+		sc.MutateProbe = true
+		out := RunSeed(sc)
+		if out.Failure == nil || out.Failure.Kind != FailMutation {
+			t.Fatalf("expected %s, got %v", FailMutation, out.Failure)
+		}
+	})
+	t.Run("fixed-components-pass", func(t *testing.T) {
+		sc := base.clone()
+		sc.Filter = "fixed"
+		sc.StartDelay = 200
+		sc.MutateProbe = true
+		if out := RunSeed(sc); out.Failure != nil {
+			t.Fatalf("fixed components should pass: %v", out.Failure)
+		}
+	})
+}

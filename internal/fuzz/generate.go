@@ -1,0 +1,91 @@
+package fuzz
+
+import (
+	"vidi/internal/fault"
+	"vidi/internal/sim"
+)
+
+// GenOptions configures the generator.
+type GenOptions struct {
+	// InjectBugs lets the generator emit scenarios carrying the buggy
+	// FrameFIFO or atop-filter revisions. Off by default: a clean main tree
+	// must fuzz clean, so buggy components only appear when hunting for the
+	// regression corpus (vidi-fuzz -bugs) or in checked-in corpus entries.
+	InjectBugs bool
+}
+
+// Generate derives a random-but-valid scenario from seed. The same seed
+// always yields the same scenario; with InjectBugs off the scenario contains
+// only fixed components, so it must pass every oracle on a healthy tree.
+func Generate(seed int64, opt GenOptions) *Scenario {
+	rng := sim.NewRand(seed)
+	sc := &Scenario{Seed: seed}
+
+	sc.Frames = 2 + rng.Intn(9) // 2..10 64-byte frames
+	maxFrags := sc.Frames * 16
+	sc.FIFOFrags = 16 + rng.Intn(maxFrags) // ≥ one frame
+	if sc.FIFOFrags > maxFrags {
+		sc.FIFOFrags = maxFrags
+	}
+
+	for i, n := 0, rng.Intn(4); i < n; i++ { // 0..3 chain stages
+		sc.Stages = append(sc.Stages, 1+rng.Intn(8))
+	}
+
+	if rng.Intn(2) == 0 {
+		sc.Filter = "fixed"
+	}
+	sc.DrainRate = 1 + rng.Intn(16)
+	if rng.Intn(2) == 0 {
+		sc.StartDelay = 50 + rng.Intn(550)
+	}
+	sc.JitterMax = rng.Intn(9)
+
+	for i, n := 0, rng.Intn(6); i < n; i++ { // 0..5 background MMIO ops
+		sc.Noise = append(sc.Noise, NoiseOp{
+			Bus:   1 + rng.Intn(2),
+			Write: rng.Intn(2) == 0,
+			Addr:  uint64(rng.Intn(16)) * 4,
+			Val:   rng.Uint32(),
+		})
+	}
+
+	if rng.Intn(5) == 0 {
+		sc.Degraded = true
+		sc.BufBytes = 2048
+	}
+
+	// Fault classes restricted to the survivable online injectors: outages
+	// can legitimately escalate to ErrStoreFault (a detected condition, not
+	// a bug), which would poison the "clean run" oracle.
+	switch rng.Intn(6) {
+	case 0:
+		sc.Faults = []string{fault.CPUStall.String()}
+	case 1:
+		sc.Faults = []string{fault.DMAHiccup.String()}
+	case 2:
+		sc.Faults = []string{fault.LinkBrownout.String()}
+		// A brownout throttles the store's drain path; recording survives it
+		// only by degrading, exactly as in the eval fault matrix.
+		sc.Degraded = true
+		if sc.BufBytes == 0 {
+			sc.BufBytes = 4096
+		}
+	}
+
+	sc.MutateProbe = rng.Intn(2) == 0
+
+	if opt.InjectBugs {
+		// Roughly a third of bug-mode scenarios carry each case-study bug.
+		if rng.Intn(3) == 0 {
+			sc.FIFOBuggy = true
+		}
+		if rng.Intn(3) == 0 {
+			sc.Filter = "buggy"
+			// The atop bug only deadlocks under the legal-interleaving
+			// mutation, never naturally: the probe is the detector.
+			sc.MutateProbe = true
+		}
+	}
+	return sc
+}

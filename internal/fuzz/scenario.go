@@ -1,0 +1,170 @@
+// Package fuzz is Vidi's differential conformance fuzzer: a seeded random
+// design-and-workload generator, a four-oracle harness that cross-checks the
+// two simulation kernels, record→replay exactness, protocol cleanliness and
+// legal-interleaving robustness on every generated system, and a greedy
+// shrinker that reduces failing scenarios to minimal reproducers suitable
+// for a checked-in regression corpus.
+//
+// The generated systems are echo pipelines — CPU DMA frames in over pcis,
+// fragments through a FrameFIFO and a random chain of FIFO stages, bytes
+// back out to host DRAM over pcim — because a data-preserving design gives
+// the harness a free end-to-end oracle (output bytes must equal input bytes)
+// on top of the trace-level ones. The pipeline deliberately reuses the two
+// case-study components from internal/bugs (the frame FIFO and the atop
+// filter) so that, with bug injection enabled, the fuzzer rediscovers the
+// paper's §5.2 and §5.3 bugs from random seeds.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vidi/internal/fault"
+)
+
+// NoiseOp is one background MMIO operation on an otherwise-unused bus,
+// exercising the boundary channels the pipeline itself leaves quiet.
+type NoiseOp struct {
+	// Bus selects the MMIO bus: 1 = sda, 2 = bar1.
+	Bus int `json:"bus"`
+	// Write selects a register write (else a read).
+	Write bool `json:"write"`
+	// Addr is the 4-byte-aligned register address.
+	Addr uint64 `json:"addr"`
+	// Val is the written value (writes only).
+	Val uint32 `json:"val,omitempty"`
+}
+
+// Scenario is one generated design + workload, fully determined by its
+// fields: running the same scenario twice produces byte-identical traces.
+// It is the unit the generator emits, the harness runs, the shrinker
+// reduces and the corpus serializes.
+type Scenario struct {
+	// Seed drives every random stream of the run: environment jitter,
+	// payload contents and the fault plan.
+	Seed int64 `json:"seed"`
+	// Frames is the number of 64-byte DMA frames the CPU writes.
+	Frames int `json:"frames"`
+	// FIFOFrags is the FrameFIFO capacity in 32-bit fragments (≥ 16, so one
+	// frame always fits).
+	FIFOFrags int `json:"fifo_frags"`
+	// FIFOBuggy selects the §5.2 silently-dropping FrameFIFO revision.
+	FIFOBuggy bool `json:"fifo_buggy,omitempty"`
+	// Stages are the depths of the FIFO chain between pump and drain.
+	Stages []int `json:"stages,omitempty"`
+	// Filter interposes the §5.3 atop filter on the pcim write-back path:
+	// "" (absent), "fixed", or "buggy".
+	Filter string `json:"filter,omitempty"`
+	// StartDelay postpones the control thread's drain-start register write.
+	StartDelay int `json:"start_delay,omitempty"`
+	// DrainRate is the number of fragments the pump pops per cycle.
+	DrainRate int `json:"drain_rate"`
+	// JitterMax bounds the CPU agent's random inter-op delays.
+	JitterMax int `json:"jitter_max,omitempty"`
+	// Noise are background MMIO operations on sda/bar1.
+	Noise []NoiseOp `json:"noise,omitempty"`
+	// Degraded enables degraded recording (lossy under back-pressure).
+	Degraded bool `json:"degraded,omitempty"`
+	// BufBytes overrides the shim's monitor buffer size when > 0.
+	BufBytes int `json:"buf_bytes,omitempty"`
+	// Faults names armed fault classes (fault.Class strings).
+	Faults []string `json:"faults,omitempty"`
+	// MutateProbe additionally replays a legally-reordered copy of the
+	// recorded trace (W end moved before its AW end on pcim), the §5.3
+	// mutation that exposes interleaving assumptions.
+	MutateProbe bool `json:"mutate_probe,omitempty"`
+}
+
+// Size is the shrink metric: one unit per frame, pipeline stage, noise op
+// and fault, plus one per enabled feature flag. The shrinker minimizes it;
+// the corpus acceptance criterion compares it against the originally
+// generated scenario's size.
+func (sc *Scenario) Size() int {
+	n := sc.Frames + len(sc.Stages) + len(sc.Noise) + len(sc.Faults)
+	for _, on := range []bool{
+		sc.FIFOBuggy, sc.Filter != "", sc.StartDelay > 0,
+		sc.JitterMax > 0, sc.Degraded, sc.MutateProbe,
+	} {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate rejects scenarios the pipeline cannot legally instantiate.
+func (sc *Scenario) Validate() error {
+	if sc.Frames < 1 {
+		return fmt.Errorf("fuzz: Frames must be ≥ 1, got %d", sc.Frames)
+	}
+	if sc.FIFOFrags < 16 {
+		return fmt.Errorf("fuzz: FIFOFrags must be ≥ 16 (one frame), got %d", sc.FIFOFrags)
+	}
+	if sc.DrainRate < 1 {
+		return fmt.Errorf("fuzz: DrainRate must be ≥ 1, got %d", sc.DrainRate)
+	}
+	switch sc.Filter {
+	case "", "fixed", "buggy":
+	default:
+		return fmt.Errorf("fuzz: unknown Filter %q", sc.Filter)
+	}
+	for _, d := range sc.Stages {
+		if d < 1 {
+			return fmt.Errorf("fuzz: stage depth must be ≥ 1, got %d", d)
+		}
+	}
+	for _, op := range sc.Noise {
+		if op.Bus != 1 && op.Bus != 2 {
+			return fmt.Errorf("fuzz: noise bus must be 1 (sda) or 2 (bar1), got %d", op.Bus)
+		}
+		if op.Addr%4 != 0 {
+			return fmt.Errorf("fuzz: noise address %#x not 4-byte aligned", op.Addr)
+		}
+	}
+	if _, err := sc.faultClasses(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// faultClasses parses the Faults strings.
+func (sc *Scenario) faultClasses() ([]fault.Class, error) {
+	var out []fault.Class
+	for _, name := range sc.Faults {
+		found := false
+		for _, c := range fault.Classes() {
+			if c.String() == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fuzz: unknown fault class %q", name)
+		}
+	}
+	return out, nil
+}
+
+// faultPlan derives the scenario's deterministic fault schedule, or nil.
+func (sc *Scenario) faultPlan() *fault.Plan {
+	classes, err := sc.faultClasses()
+	if err != nil || len(classes) == 0 {
+		return nil
+	}
+	return fault.NewPlan(sc.Seed, classes...)
+}
+
+// clone deep-copies the scenario (for shrink candidates).
+func (sc *Scenario) clone() *Scenario {
+	c := *sc
+	c.Stages = append([]int(nil), sc.Stages...)
+	c.Noise = append([]NoiseOp(nil), sc.Noise...)
+	c.Faults = append([]string(nil), sc.Faults...)
+	return &c
+}
+
+// MarshalIndent renders the scenario as the corpus-file JSON.
+func (sc *Scenario) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}

@@ -1,0 +1,122 @@
+package fuzz
+
+// Shrink greedily reduces a failing scenario to a minimal reproducer. Each
+// round proposes candidate reductions — drop a pipeline stage, halve or
+// decrement the frame count, drop noise ops, zero the jitter, remove faults,
+// shorten the start delay, disable degraded recording — and keeps a
+// candidate only if the harness still fails with the SAME failure kind
+// (a reduction that merely fails differently is a different bug and is
+// rejected). Rounds repeat until a fixpoint. Returns the shrunk scenario
+// and the number of harness runs spent.
+//
+// check lets tests substitute a cheaper verdict function; nil uses RunSeed.
+func Shrink(sc *Scenario, kind FailureKind, check func(*Scenario) *Outcome) (*Scenario, int) {
+	if check == nil {
+		check = RunSeed
+	}
+	best := sc.clone()
+	runs := 0
+	for {
+		improved := false
+		for _, cand := range candidates(best) {
+			if !smaller(cand, best) {
+				continue
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			runs++
+			out := check(cand)
+			if out.Failure != nil && out.Failure.Kind == kind {
+				best = cand
+				improved = true
+				break // restart candidate generation from the smaller base
+			}
+		}
+		if !improved {
+			return best, runs
+		}
+	}
+}
+
+// smaller orders scenarios by (Size, timing weight) lexicographically: the
+// primary shrink metric is structural, but among equal-size scenarios one
+// with less delay/jitter/depth is still the simpler reproducer, and both
+// metrics strictly decrease so the greedy loop terminates.
+func smaller(a, b *Scenario) bool {
+	if a.Size() != b.Size() {
+		return a.Size() < b.Size()
+	}
+	return weight(a) < weight(b)
+}
+
+func weight(sc *Scenario) int {
+	w := sc.StartDelay + sc.JitterMax + sc.Frames
+	for _, d := range sc.Stages {
+		w += d
+	}
+	return w
+}
+
+// candidates proposes one-step reductions of sc, most aggressive first so
+// the greedy loop takes big steps while they work.
+func candidates(sc *Scenario) []*Scenario {
+	var out []*Scenario
+	mod := func(f func(*Scenario)) {
+		c := sc.clone()
+		f(c)
+		out = append(out, c)
+	}
+
+	// Big structural cuts first.
+	if len(sc.Stages) > 0 {
+		mod(func(c *Scenario) { c.Stages = nil })
+	}
+	if len(sc.Noise) > 0 {
+		mod(func(c *Scenario) { c.Noise = nil })
+	}
+	if sc.Frames > 2 {
+		mod(func(c *Scenario) { c.Frames = c.Frames / 2 })
+	}
+	// Then one-element cuts.
+	for i := range sc.Stages {
+		i := i
+		mod(func(c *Scenario) { c.Stages = append(c.Stages[:i], c.Stages[i+1:]...) })
+	}
+	for i := range sc.Noise {
+		i := i
+		mod(func(c *Scenario) { c.Noise = append(c.Noise[:i], c.Noise[i+1:]...) })
+	}
+	if sc.Frames > 1 {
+		mod(func(c *Scenario) { c.Frames-- })
+	}
+	// Feature flags and timing.
+	if len(sc.Faults) > 0 {
+		mod(func(c *Scenario) { c.Faults = nil })
+	}
+	if sc.Degraded {
+		mod(func(c *Scenario) { c.Degraded = false; c.BufBytes = 0 })
+	}
+	if sc.JitterMax > 0 {
+		mod(func(c *Scenario) { c.JitterMax = 0 })
+	}
+	if sc.StartDelay > 0 {
+		mod(func(c *Scenario) { c.StartDelay = 0 })
+		if sc.StartDelay > 50 {
+			mod(func(c *Scenario) { c.StartDelay = c.StartDelay / 2 })
+		}
+	}
+	if sc.MutateProbe {
+		mod(func(c *Scenario) { c.MutateProbe = false })
+	}
+	if sc.Filter != "" {
+		mod(func(c *Scenario) { c.Filter = "" })
+		if sc.Filter == "buggy" {
+			mod(func(c *Scenario) { c.Filter = "fixed" })
+		}
+	}
+	if sc.FIFOBuggy {
+		mod(func(c *Scenario) { c.FIFOBuggy = false })
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package shell
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 
 	"vidi/internal/axi"
@@ -37,8 +39,8 @@ func (b Bus) String() string {
 // non-determinism that Vidi records.
 type CPU struct {
 	sim.NullEval
-	sys *System
-	rng *rand.Rand
+	sys  *System
+	seed int64
 
 	liteW [3]*axi.WriteManager
 	liteR [3]*axi.ReadManager
@@ -58,7 +60,7 @@ type CPU struct {
 }
 
 func newCPU(sys *System) *CPU {
-	c := &CPU{sys: sys, rng: sim.NewRand(sys.Cfg.Seed)}
+	c := &CPU{sys: sys, seed: sys.Cfg.Seed}
 	envs := []*axi.Interface{sys.EnvOCL, sys.EnvSDA, sys.EnvBAR1}
 	for i, env := range envs {
 		c.liteW[i] = axi.NewWriteManager(fmt.Sprintf("cpu.%s.w", Bus(i)), env)
@@ -70,17 +72,33 @@ func newCPU(sys *System) *CPU {
 	c.dmaW.Link = sys.PCIe
 	c.dmaR.Link = sys.PCIe
 	if sys.Cfg.JitterMax > 0 {
-		c.dmaW.AWGap = sim.GapPolicy(c.rng, 0, sys.Cfg.JitterMax/2+1)
-		c.dmaW.WGap = sim.GapPolicy(c.rng, 0, 2)
+		// Each gap policy draws from its own derived stream: sharing one
+		// source would couple the AW and W gap sequences to each other (and,
+		// worse, to every thread's inter-op jitter), so that adding a thread
+		// or an op would perturb unrelated timing and destroy seed-local
+		// reproducibility under fuzz shrinking.
+		c.dmaW.AWGap = sim.GapPolicy(deriveRand(c.seed, "cpu.pcis.awgap"), 0, sys.Cfg.JitterMax/2+1)
+		c.dmaW.WGap = sim.GapPolicy(deriveRand(c.seed, "cpu.pcis.wgap"), 0, 2)
 	}
 	sys.Sim.Register(c.dmaW, c.dmaR)
 	return c
+}
+
+// deriveRand returns a deterministic random stream unique to one named
+// randomness consumer. Folding the label into the seed keeps consumers'
+// streams independent: a consumer drawing more or fewer values never shifts
+// another's sequence.
+func deriveRand(seed int64, label string) *rand.Rand {
+	h := fnv.New64a()
+	io.WriteString(h, label)
+	return sim.NewRand(seed ^ int64(h.Sum64()))
 }
 
 // Thread is one sequential stream of CPU operations.
 type Thread struct {
 	cpu  *CPU
 	name string
+	rng  *rand.Rand
 	ops  []op
 	busy bool
 	wait int
@@ -91,9 +109,13 @@ type Thread struct {
 
 type op func(t *Thread) // issues the operation; completion clears t.busy
 
-// NewThread creates a named CPU thread.
+// NewThread creates a named CPU thread. Each thread owns a random stream
+// derived from the system seed and the thread's identity, so its inter-op
+// jitter is a function of the seed and the thread's own schedule alone —
+// reordering, adding or removing other threads leaves it untouched.
 func (c *CPU) NewThread(name string) *Thread {
-	t := &Thread{cpu: c, name: name}
+	label := fmt.Sprintf("cpu.thread.%d.%s", len(c.threads), name)
+	t := &Thread{cpu: c, name: name, rng: deriveRand(c.seed, label)}
 	c.threads = append(c.threads, t)
 	return t
 }
@@ -172,17 +194,18 @@ func (c *CPU) Done() bool {
 	return true
 }
 
-// jitter returns a seeded random inter-op delay.
-func (c *CPU) jitter() int {
-	if c.sys.Cfg.JitterMax <= 0 {
+// jitter returns a seeded random inter-op delay from the thread's own
+// stream.
+func (t *Thread) jitter() int {
+	if t.cpu.sys.Cfg.JitterMax <= 0 {
 		return 0
 	}
-	return c.rng.Intn(c.sys.Cfg.JitterMax + 1)
+	return t.rng.Intn(t.cpu.sys.Cfg.JitterMax + 1)
 }
 
 func (t *Thread) enqueue(f op) *Thread {
 	t.ops = append(t.ops, func(tt *Thread) {
-		tt.wait = tt.cpu.jitter()
+		tt.wait = tt.jitter()
 		f(tt)
 	})
 	if t.cpu.tickWake != nil {

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDuplicateNamePropertyAllNamespaces checks the full contract of Build's
+// name checking, uniformly across every namespace: for any colliding name the
+// error is a *DuplicateNameError wrapping ErrDuplicateName, its Kind/Name
+// identify the namespace and the colliding entity, and the rendered message
+// names both — so a user reading only the error string can find the clash.
+// Decoy entities with unique names must never trip the check.
+func TestDuplicateNamePropertyAllNamespaces(t *testing.T) {
+	namespaces := []struct {
+		kind string
+		add  func(s *Simulator, name string)
+	}{
+		{"module", func(s *Simulator, name string) { s.Register(&nopModule{name: name}) }},
+		{"wire", func(s *Simulator, name string) { s.NewWire(name) }},
+		{"data", func(s *Simulator, name string) { s.NewData(name, 16) }},
+		{"channel", func(s *Simulator, name string) { s.NewChannel(name, 4) }},
+	}
+	names := []string{"x", "top.u0", "a b", "日本", "with\"quote", strings.Repeat("n", 100)}
+
+	for _, ns := range namespaces {
+		ns := ns
+		t.Run(ns.kind, func(t *testing.T) {
+			for _, name := range names {
+				s := New()
+				// Unique decoys in the same namespace must not collide.
+				for i := 0; i < 3; i++ {
+					ns.add(s, fmt.Sprintf("%s.decoy%d", name, i))
+				}
+				ns.add(s, name)
+				ns.add(s, name)
+
+				err := s.Build()
+				if err == nil {
+					t.Fatalf("%s: Build accepted duplicate name %q", ns.kind, name)
+				}
+				if !errors.Is(err, ErrDuplicateName) {
+					t.Fatalf("%s/%q: err = %v, want ErrDuplicateName", ns.kind, name, err)
+				}
+				var dn *DuplicateNameError
+				if !errors.As(err, &dn) {
+					t.Fatalf("%s/%q: err = %T, want *DuplicateNameError", ns.kind, name, err)
+				}
+				if dn.Kind != ns.kind {
+					t.Errorf("%s/%q: Kind = %q", ns.kind, name, dn.Kind)
+				}
+				if dn.Name != name {
+					t.Errorf("%s/%q: Name = %q", ns.kind, name, dn.Name)
+				}
+				// The message renders the name with %q, so match the quoted form.
+				if msg := err.Error(); !strings.Contains(msg, fmt.Sprintf("%q", name)) || !strings.Contains(msg, ns.kind) {
+					t.Errorf("%s/%q: message %q does not name the colliding entity", ns.kind, name, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestDuplicateNameAcrossNamespacesAllowed pins the complementary property:
+// the namespaces are independent, so the same name in different namespaces is
+// legal and Build succeeds.
+func TestDuplicateNameAcrossNamespacesAllowed(t *testing.T) {
+	s := New()
+	s.Register(&nopModule{name: "shared"})
+	s.NewWire("shared")
+	s.NewData("shared", 8)
+	s.NewChannel("shared", 4)
+	if err := s.Build(); err != nil {
+		t.Fatalf("same name across namespaces must be legal: %v", err)
+	}
+}

@@ -534,6 +534,19 @@ func (s *Simulator) checkNames() error {
 	}); err != nil {
 		return err
 	}
+	// Channels before wires/datas: a channel owns derived ".valid"/".ready"/
+	// ".data" signals, so two channels with one name also collide on those.
+	// Checking the channel namespace first reports the entity the user
+	// actually declared instead of an internal derived wire.
+	if err := check("channel", func(yield func(string) bool) {
+		for _, ch := range s.channels {
+			if !yield(ch.name) {
+				return
+			}
+		}
+	}); err != nil {
+		return err
+	}
 	if err := check("wire", func(yield func(string) bool) {
 		for _, w := range s.wires {
 			if !yield(w.name) {
@@ -543,18 +556,9 @@ func (s *Simulator) checkNames() error {
 	}); err != nil {
 		return err
 	}
-	if err := check("data", func(yield func(string) bool) {
+	return check("data", func(yield func(string) bool) {
 		for _, d := range s.datas {
 			if !yield(d.name) {
-				return
-			}
-		}
-	}); err != nil {
-		return err
-	}
-	return check("channel", func(yield func(string) bool) {
-		for _, ch := range s.channels {
-			if !yield(ch.name) {
 				return
 			}
 		}

@@ -45,7 +45,7 @@ func TestBuildRejectsDuplicateSignalAndChannelNames(t *testing.T) {
 		{"data", func(s *Simulator) { s.NewData("d", 32); s.NewData("d", 32) }},
 		// A channel owns a wire/data triple under derived names, so two
 		// channels with one name collide on those too; the channel check runs
-		// after per-signal checks, so collide only the channel name here.
+		// first so the error names the channel, not a derived wire.
 		{"channel", func(s *Simulator) { s.NewChannel("ch", 4); s.NewChannel("ch", 4) }},
 	}
 	for _, tc := range cases {
