@@ -2,15 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race race-golden fuzz-smoke ci bench tables examples fuzz clean
+.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke ci bench tables examples fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (sensaudit + handshake). Runs both standalone
+# and through go vet's -vettool protocol so the two entry points cannot
+# drift apart.
+lint:
+	$(GO) run ./cmd/vidi-lint ./...
+	$(GO) build -o /tmp/vidi-lint-vettool ./cmd/vidi-lint
+	$(GO) vet -vettool=/tmp/vidi-lint-vettool ./...
+
+# Strict external lint gate. Locally skipped with a notice when the binary
+# is absent (nothing is installed implicitly); CI installs a pinned version.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs a pinned version)"; \
+	fi
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -37,7 +54,7 @@ fuzz-smoke:
 	$(GO) run ./cmd/vidi-fuzz -seeds 50 -corpus internal/fuzz/corpus
 
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet fmt-check test-short test-race race-golden fuzz-smoke
+ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 # Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs scheduler)

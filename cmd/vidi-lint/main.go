@@ -1,0 +1,105 @@
+// Command vidi-lint runs the vidi analyzer suite (sensaudit, handshake)
+// over Go packages. It works in two modes:
+//
+// Standalone, over go-list patterns:
+//
+//	vidi-lint ./...
+//	vidi-lint -analyzers sensaudit ./internal/axi
+//
+// As a go vet tool, which reuses vet's build-cache-driven package loading:
+//
+//	go vet -vettool=$(which vidi-lint) ./...
+//
+// Exit status is 0 when no diagnostics were reported, 1 when findings
+// exist, 2 on a loading or internal error. Diagnostics are suppressed by
+// `//lint:sensaudit <reason>` / `//lint:handshake <reason>` comments on the
+// diagnosed line, the line above it, or the enclosing function's doc
+// comment; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vidi/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes its -vettool with -V=full before handing it .cfg files.
+	if len(args) > 0 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Println("vidi-lint version 1")
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVet(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("vidi-lint", flag.ContinueOnError)
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	ld, err := analysis.NewLoader(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(ld, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", ld.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analysis.All(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		found := false
+		for _, a := range analysis.All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildTool compiles vidi-lint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vidi-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build vidi-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, cmd *exec.Cmd) (int, string) {
+	t.Helper()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("%v: %v\n%s", cmd.Args, err, out)
+	return -1, ""
+}
+
+// TestStandaloneExitCodes runs the built binary against a clean package
+// (exit 0) and the deliberately-broken sensaudit fixture (exit 1).
+func TestStandaloneExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary; skipped in -short mode")
+	}
+	bin := buildTool(t)
+
+	clean := exec.Command(bin, "./internal/vclock")
+	clean.Dir = "../.."
+	if code, out := exitCode(t, clean); code != 0 {
+		t.Errorf("clean package: exit %d, want 0\n%s", code, out)
+	}
+
+	dirty := exec.Command(bin, "./internal/analysis/testdata/src/sensfix")
+	dirty.Dir = "../.."
+	code, out := exitCode(t, dirty)
+	if code != 1 {
+		t.Errorf("fixture package: exit %d, want 1\n%s", code, out)
+	}
+	if out == "" {
+		t.Error("fixture package: expected diagnostics on stderr, got none")
+	}
+}
+
+// TestVetTool drives the binary through go vet's -vettool protocol.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary under go vet; skipped in -short mode")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/vclock")
+	cmd.Dir = "../.."
+	if code, out := exitCode(t, cmd); code != 0 {
+		t.Errorf("go vet -vettool: exit %d, want 0\n%s", code, out)
+	}
+}

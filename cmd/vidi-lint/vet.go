@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"vidi/internal/analysis"
+)
+
+// runVet executes one go vet unit: vet invokes the tool once per package
+// with a JSON .cfg file describing the files, the import map and the export
+// data it already compiled.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	var cfg analysis.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vidi-lint: %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// vet caches a facts file per unit; this suite carries no facts but the
+	// file must exist for the cache entry to be valid.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	ld, err := analysis.NewVetLoader(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(ld, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", ld.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

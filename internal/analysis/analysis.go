@@ -1,0 +1,177 @@
+// Package analysis is vidi-lint's analyzer suite: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis surface (Analyzer,
+// Pass, Diagnostic) plus the two vidi-specific analyzers, sensaudit and
+// handshake. The container this repo builds in has no module proxy access,
+// so the framework is built on the standard library only: packages are
+// loaded through `go list -export` and typechecked with the stdlib gc
+// importer (see load.go).
+//
+// Waivers: a diagnostic is suppressed by a `//lint:<analyzer> <reason>`
+// comment either on the diagnosed line (or the line above it) or in the doc
+// comment of the enclosing function declaration. The reason is mandatory —
+// a bare waiver is itself reported — so every suppression documents why the
+// code is exempt, mirroring staticcheck's `//lint:ignore` convention.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and waivers.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run performs the check over one package, reporting via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Loader resolves cross-package function bodies for the interprocedural
+	// signal scan.
+	Loader *Loader
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// All returns the analyzers of the suite, in reporting order.
+func All() []*Analyzer { return []*Analyzer{SensAudit, Handshake} }
+
+// Run executes the analyzers over every target package of the loader and
+// returns the surviving diagnostics (waivers applied) sorted by position.
+// Waiver diagnostics for unused or reason-less waivers are included.
+func Run(ld *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range ld.Targets() {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Loader: ld}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, applyWaivers(pkg, a.Name, pass.diags)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := ld.Fset.Position(out[i].Pos), ld.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// waiver is one parsed `//lint:<analyzer> <reason>` directive.
+type waiver struct {
+	file   string
+	line   int
+	pos    token.Pos
+	reason string
+	fn     *ast.FuncDecl // non-nil when the waiver sits in a func doc comment
+}
+
+// collectWaivers finds the directives for one analyzer in one package.
+func collectWaivers(pkg *Package, analyzer string) []waiver {
+	prefix := "//lint:" + analyzer
+	var ws []waiver
+	for _, f := range pkg.Files {
+		// Map doc comments to their function declarations so a waiver on a
+		// method suppresses findings anywhere in its body.
+		docOwner := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOwner[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:sensaudit2 — not this analyzer
+				}
+				cp := pkg.Fset.Position(c.Pos())
+				ws = append(ws, waiver{
+					file:   cp.Filename,
+					line:   cp.Line,
+					pos:    c.Pos(),
+					reason: strings.TrimSpace(rest),
+					fn:     docOwner[cg],
+				})
+			}
+		}
+	}
+	return ws
+}
+
+// applyWaivers suppresses diagnostics covered by a waiver directive and
+// reports malformed (reason-less) waivers.
+func applyWaivers(pkg *Package, analyzer string, diags []Diagnostic) []Diagnostic {
+	ws := collectWaivers(pkg, analyzer)
+	if len(ws) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		waived := false
+		for i := range ws {
+			w := &ws[i]
+			if w.reason == "" {
+				continue // malformed; reported below, suppresses nothing
+			}
+			if w.fn != nil && w.fn.Body != nil &&
+				d.Pos >= w.fn.Pos() && d.Pos <= w.fn.End() {
+				waived = true
+				break
+			}
+			if w.fn == nil && pos.Filename == w.file &&
+				(pos.Line == w.line || pos.Line == w.line+1) {
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			out = append(out, d)
+		}
+	}
+	for _, w := range ws {
+		if w.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      w.pos,
+				Message:  fmt.Sprintf("waiver //lint:%s is missing a reason", analyzer),
+				Analyzer: analyzer,
+			})
+		}
+	}
+	return out
+}

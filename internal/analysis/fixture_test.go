@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted expectation patterns from a `// want` comment.
+// Both `"..."` and backquoted forms are accepted.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type wantSpec struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the `// want "pattern"` comments of a fixture
+// package, one spec per quoted pattern, anchored to the comment's line.
+func collectWants(t *testing.T, pkg *Package) []*wantSpec {
+	t.Helper()
+	var out []*wantSpec
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text, -1) {
+					pattern := q
+					if strings.HasPrefix(q, "\"") {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					} else {
+						pattern = strings.Trim(q, "`")
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					out = append(out, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads the fixture package in dir, runs the analyzers, and
+// checks the diagnostics against the fixture's want comments: every
+// diagnostic needs a matching want on its line and every want must fire.
+func runFixture(t *testing.T, analyzers []*Analyzer, dir string) {
+	t.Helper()
+	ld, err := NewLoader(dir, ".")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(ld.Targets()) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(ld.Targets()))
+	}
+	diags, err := Run(ld, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wants := collectWants(t, ld.Targets()[0])
+	for _, d := range diags {
+		pos := ld.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Handshake flags VALID/READY protocol misuse in module code:
+//
+//   - reading a Channel's .Data during Tick without first establishing that
+//     the handshake is live on that same channel (via Fired, StartedNow,
+//     EndedNow, InFlight or Valid): outside a transaction the data bus
+//     holds stale or undefined bytes;
+//   - driving the same Channel's .Valid wire from both Eval and Tick: a
+//     VALID wire must be owned by exactly one phase, otherwise the settle
+//     result depends on evaluation order.
+//
+// The data-read rule is intra-procedural over Tick bodies and matches
+// guards syntactically, so a guard established on one variable does not
+// license a read through another alias; waive with //lint:handshake
+// <reason> where aliasing makes the guard provably equivalent.
+var Handshake = &Analyzer{
+	Name: "handshake",
+	Doc:  "flag unguarded Channel.Data reads in Tick and Valid wires driven from both phases",
+	Run:  runHandshake,
+}
+
+func runHandshake(pass *Pass) error {
+	type methods struct{ eval, tick *ast.FuncDecl }
+	byType := map[string]*methods{}
+	var order []string
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := declReceiverName(fd)
+			if recv == "" {
+				continue
+			}
+			m := byType[recv]
+			if m == nil {
+				m = &methods{}
+				byType[recv] = m
+				order = append(order, recv)
+			}
+			switch fd.Name.Name {
+			case "Eval":
+				m.eval = fd
+			case "Tick":
+				m.tick = fd
+			}
+		}
+	}
+	for _, recv := range order {
+		m := byType[recv]
+		if m.tick != nil {
+			h := &hswalk{pass: pass, typeName: recv}
+			h.stmts(m.tick.Body.List, nil)
+			if m.eval != nil {
+				reportDualValid(pass, recv, m.eval, m.tick)
+			}
+		}
+	}
+	return nil
+}
+
+// guardset is a set of channel paths proven live at the current program
+// point. Sets are treated as immutable; extension copies.
+type guardset map[string]bool
+
+func (g guardset) with(more guardset) guardset {
+	if len(more) == 0 {
+		return g
+	}
+	out := guardset{}
+	for k := range g {
+		out[k] = true
+	}
+	for k := range more {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b guardset) guardset {
+	out := guardset{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type hswalk struct {
+	pass     *Pass
+	typeName string
+}
+
+// stmts walks a statement list with the given guards, returning the guard
+// set that holds after the list (augmented when an if-without-else body
+// always terminates, e.g. `if !ch.Fired() { return }`).
+func (h *hswalk) stmts(list []ast.Stmt, g guardset) guardset {
+	for _, s := range list {
+		g = h.stmt(s, g)
+	}
+	return g
+}
+
+func (h *hswalk) stmt(s ast.Stmt, g guardset) guardset {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			g = h.stmt(st.Init, g)
+		}
+		h.scanExpr(st.Cond, g)
+		h.stmts(st.Body.List, g.with(h.pos(st.Cond)))
+		if st.Else != nil {
+			h.stmt(st.Else, g.with(h.neg(st.Cond)))
+		} else if terminates(st.Body) {
+			// The guard's negation failed-and-returned: the condition's
+			// negative knowledge holds for the rest of the block.
+			g = g.with(h.neg(st.Cond))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			h.stmt(st.Init, g)
+		}
+		body := g
+		if st.Cond != nil {
+			h.scanExpr(st.Cond, g)
+			body = g.with(h.pos(st.Cond))
+		}
+		if st.Post != nil {
+			h.stmt(st.Post, body)
+		}
+		h.stmts(st.Body.List, body)
+	case *ast.RangeStmt:
+		h.scanExpr(st.X, g)
+		h.stmts(st.Body.List, g)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			h.stmt(st.Init, g)
+		}
+		if st.Tag != nil {
+			h.scanExpr(st.Tag, g)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					h.scanExpr(e, g)
+				}
+				h.stmts(cc.Body, g)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			h.stmt(st.Init, g)
+		}
+		h.stmt(st.Assign, g)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h.stmts(cc.Body, g)
+			}
+		}
+	case *ast.BlockStmt:
+		h.stmts(st.List, g)
+	case *ast.LabeledStmt:
+		g = h.stmt(st.Stmt, g)
+	case *ast.ExprStmt:
+		h.scanExpr(st.X, g)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			h.scanExpr(e, g)
+		}
+		for _, e := range st.Lhs {
+			h.scanExpr(e, g)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			h.scanExpr(e, g)
+		}
+	case *ast.IncDecStmt:
+		h.scanExpr(st.X, g)
+	case *ast.DeferStmt:
+		// A deferred body runs after every guard in scope has gone stale.
+		h.scanExpr(st.Call, nil)
+	case *ast.GoStmt:
+		h.scanExpr(st.Call, nil)
+	case *ast.SendStmt:
+		h.scanExpr(st.Chan, g)
+		h.scanExpr(st.Value, g)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						h.scanExpr(v, g)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// scanExpr reports unguarded Data reads inside e, threading short-circuit
+// guard refinement through && and ||.
+func (h *hswalk) scanExpr(e ast.Expr, g guardset) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if ch := h.dataRead(x); ch != "" && !g[ch] {
+			h.pass.Report(x.Pos(),
+				"Tick of %s reads %s.Data without checking %s.Fired(), %s.StartedNow() or %s.Valid first: outside a live handshake the bus holds stale data",
+				h.typeName, ch, ch, ch, ch)
+		}
+		h.scanExpr(x.Fun, g)
+		for _, a := range x.Args {
+			h.scanExpr(a, g)
+		}
+	case *ast.BinaryExpr:
+		h.scanExpr(x.X, g)
+		switch x.Op {
+		case token.LAND:
+			h.scanExpr(x.Y, g.with(h.pos(x.X)))
+		case token.LOR:
+			h.scanExpr(x.Y, g.with(h.neg(x.X)))
+		default:
+			h.scanExpr(x.Y, g)
+		}
+	case *ast.UnaryExpr:
+		h.scanExpr(x.X, g)
+	case *ast.ParenExpr:
+		h.scanExpr(x.X, g)
+	case *ast.StarExpr:
+		h.scanExpr(x.X, g)
+	case *ast.SelectorExpr:
+		h.scanExpr(x.X, g)
+	case *ast.IndexExpr:
+		h.scanExpr(x.X, g)
+		h.scanExpr(x.Index, g)
+	case *ast.SliceExpr:
+		h.scanExpr(x.X, g)
+		for _, i := range []ast.Expr{x.Low, x.High, x.Max} {
+			h.scanExpr(i, g)
+		}
+	case *ast.TypeAssertExpr:
+		h.scanExpr(x.X, g)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			h.scanExpr(el, g)
+		}
+	case *ast.KeyValueExpr:
+		h.scanExpr(x.Value, g)
+	case *ast.FuncLit:
+		h.stmts(x.Body.List, nil)
+	}
+}
+
+// pos returns the channels proven live when e is true.
+func (h *hswalk) pos(e ast.Expr) guardset {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return h.pos(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return h.neg(x.X)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			return h.pos(x.X).with(h.pos(x.Y))
+		case token.LOR:
+			return intersect(h.pos(x.X), h.pos(x.Y))
+		}
+	case *ast.CallExpr:
+		if ch := h.guardAtom(x); ch != "" {
+			return guardset{ch: true}
+		}
+	}
+	return nil
+}
+
+// neg returns the channels proven live when e is false.
+func (h *hswalk) neg(e ast.Expr) guardset {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return h.neg(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return h.pos(x.X)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			return intersect(h.neg(x.X), h.neg(x.Y))
+		case token.LOR:
+			return h.neg(x.X).with(h.neg(x.Y))
+		}
+	}
+	return nil
+}
+
+// guardAtom recognises `X.Fired()`, `X.StartedNow()`, `X.EndedNow()`,
+// `X.InFlight()` and `X.Valid.Get()` for a *sim.Channel X, returning X's
+// syntactic path.
+func (h *hswalk) guardAtom(c *ast.CallExpr) string {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Fired", "StartedNow", "EndedNow", "InFlight":
+		if h.isChannel(sel.X) {
+			return h.path(sel.X)
+		}
+	case "Get":
+		if vs, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok &&
+			vs.Sel.Name == "Valid" && h.isChannel(vs.X) {
+			return h.path(vs.X)
+		}
+	}
+	return ""
+}
+
+// dataRead recognises `X.Data.Get()`, `.Snapshot()` or `.Uint64()` for a
+// *sim.Channel X and returns X's syntactic path.
+func (h *hswalk) dataRead(c *ast.CallExpr) string {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Get", "Snapshot", "Uint64":
+	default:
+		return ""
+	}
+	ds, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || ds.Sel.Name != "Data" || !h.isChannel(ds.X) {
+		return ""
+	}
+	return h.path(ds.X)
+}
+
+func (h *hswalk) isChannel(e ast.Expr) bool {
+	tv, ok := h.pass.Pkg.Info.Types[e]
+	return ok && isSimType(tv.Type, "Channel")
+}
+
+// path renders an expression as a stable syntactic key; two occurrences of
+// the same ident/selector chain yield the same key.
+func (h *hswalk) path(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return h.path(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return h.path(x.X)
+	case *ast.IndexExpr:
+		return h.path(x.X) + "[" + h.path(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	default:
+		// Not a stable path: make it unique so it never matches a guard.
+		return "?" + h.pass.Pkg.Fset.Position(e.Pos()).String()
+	}
+}
+
+// terminates reports whether a block always leaves the enclosing statement
+// list (return, branch or panic as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if c, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reportDualValid reports Channel Valid wires Set from both Eval and Tick
+// of the same type.
+func reportDualValid(pass *Pass, typeName string, eval, tick *ast.FuncDecl) {
+	evalSets := validSets(pass, eval)
+	if len(evalSets) == 0 {
+		return
+	}
+	tickSets := validSets(pass, tick)
+	for _, p := range sortedValidPaths(tickSets) {
+		if _, ok := evalSets[p]; ok {
+			pass.Report(tickSets[p],
+				"%s drives %s.Valid from both Eval and Tick: a VALID wire must be owned by exactly one phase",
+				typeName, p)
+		}
+	}
+}
+
+// validSets collects the channel paths whose Valid wire is Set inside fd.
+func validSets(pass *Pass, fd *ast.FuncDecl) map[string]token.Pos {
+	h := &hswalk{pass: pass}
+	out := map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Set" {
+			return true
+		}
+		vs, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || vs.Sel.Name != "Valid" || !h.isChannel(vs.X) {
+			return true
+		}
+		p := h.path(vs.X)
+		if _, seen := out[p]; !seen {
+			out[p] = c.Pos()
+		}
+		return true
+	})
+	return out
+}
+
+func sortedValidPaths(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHandshakeFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{Handshake}, "testdata/src/handfix")
+}

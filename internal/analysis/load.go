@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages named by the load patterns (vs dependencies
+	// loaded lazily for the interprocedural scan).
+	Target bool
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Loader loads and typechecks packages via the go toolchain: `go list
+// -export` supplies compiled export data for every dependency, so source
+// typechecking needs only the stdlib gc importer — no golang.org/x/tools.
+// Dependency packages inside the module can additionally be typechecked
+// from source on demand (LoadSource), which is what lets the analyzers
+// expand helper bodies such as Channel.SenderSignals cross-package.
+type Loader struct {
+	Fset *token.FileSet
+
+	listed  map[string]*listedPkg
+	targets []*Package
+	source  map[string]*Package // lazily typechecked from source, by path
+	imp     types.Importer
+	// dir is where lazy `go list` calls run (vet mode discovers dependency
+	// sources on demand; see ensureSource).
+	dir string
+}
+
+// goList runs `go list -export -deps` in dir and returns the decoded
+// package entries.
+func goList(dir string, patterns ...string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,ImportMap,Standard,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewLoader runs `go list` in dir over the patterns and typechecks every
+// matched (non-dependency) package from source.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	ld := &Loader{
+		Fset:   token.NewFileSet(),
+		listed: map[string]*listedPkg{},
+		source: map[string]*Package{},
+		dir:    dir,
+	}
+	var targetPaths []string
+	for i := range pkgs {
+		p := &pkgs[i]
+		ld.listed[p.ImportPath] = p
+		if !p.DepOnly {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targetPaths = append(targetPaths, p.ImportPath)
+		}
+	}
+	ld.imp = importer.ForCompiler(ld.Fset, "gc", ld.exportLookup)
+	for _, path := range targetPaths {
+		pkg, err := ld.typecheck(path)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = true
+		ld.targets = append(ld.targets, pkg)
+	}
+	return ld, nil
+}
+
+// VetConfig is the JSON configuration go vet hands a -vettool for each
+// package unit (a subset of the x/tools unitchecker schema).
+type VetConfig struct {
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// NewVetLoader builds a Loader for one go vet unit: the target package is
+// typechecked from the cfg's file list against the export data vet already
+// compiled; dependency sources (needed for interprocedural expansion) are
+// discovered lazily via go list.
+func NewVetLoader(cfg *VetConfig) (*Loader, error) {
+	ld := &Loader{
+		Fset:   token.NewFileSet(),
+		listed: map[string]*listedPkg{},
+		source: map[string]*Package{},
+		dir:    cfg.Dir,
+	}
+	for path, export := range cfg.PackageFile {
+		ld.listed[path] = &listedPkg{
+			ImportPath: path,
+			Export:     export,
+			Standard:   cfg.Standard[path],
+			DepOnly:    true,
+		}
+	}
+	ld.listed[cfg.ImportPath] = &listedPkg{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		ImportMap:  cfg.ImportMap,
+	}
+	ld.imp = importer.ForCompiler(ld.Fset, "gc", ld.exportLookup)
+	pkg, err := ld.typecheck(cfg.ImportPath)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Target = true
+	ld.targets = append(ld.targets, pkg)
+	return ld, nil
+}
+
+// ensureSource makes sure the listed entry for path has source files,
+// running a lazy `go list` when the entry came from a vet PackageFile map
+// (which records only export data).
+func (ld *Loader) ensureSource(path string) *listedPkg {
+	lp := ld.listed[path]
+	if lp != nil && (lp.Standard || len(lp.GoFiles) > 0 || ld.dir == "") {
+		return lp
+	}
+	pkgs, err := goList(ld.dir, path)
+	if err != nil {
+		return lp
+	}
+	for i := range pkgs {
+		p := &pkgs[i]
+		if prev := ld.listed[p.ImportPath]; prev == nil || len(prev.GoFiles) == 0 {
+			ld.listed[p.ImportPath] = p
+		}
+	}
+	return ld.listed[path]
+}
+
+// Targets returns the packages matched by the load patterns.
+func (ld *Loader) Targets() []*Package { return ld.targets }
+
+// exportLookup opens the export data for an import path, consulting the
+// go list ImportMap indirections (vendoring, test variants).
+func (ld *Loader) exportLookup(path string) (io.ReadCloser, error) {
+	p, ok := ld.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in the load graph", path)
+	}
+	if p.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// typecheck parses and typechecks one listed package from source.
+func (ld *Loader) typecheck(path string) (*Package, error) {
+	lp, ok := ld.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in the load graph", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(lp.Dir, name)
+		}
+		af, err := parser.ParseFile(ld.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &mappedImporter{ld: ld, m: lp.ImportMap},
+	}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   lp.Dir,
+		Fset:  ld.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// mappedImporter resolves one package's imports through its ImportMap
+// before hitting the shared export-data importer.
+type mappedImporter struct {
+	ld *Loader
+	m  map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.ld.imp.Import(path)
+}
+
+// LoadSource returns the package at the import path typechecked from
+// source, or nil if it is not in the load graph or fails to parse (the
+// analyzers then treat its functions as opaque). Results are memoized;
+// target packages are returned directly.
+func (ld *Loader) LoadSource(path string) *Package {
+	for _, t := range ld.targets {
+		if t.Path == path {
+			return t
+		}
+	}
+	if pkg, ok := ld.source[path]; ok {
+		return pkg
+	}
+	lp := ld.ensureSource(path)
+	if lp == nil || lp.Standard || lp.Error != nil || len(lp.GoFiles) == 0 {
+		ld.source[path] = nil
+		return nil
+	}
+	pkg, err := ld.typecheck(path)
+	if err != nil {
+		pkg = nil
+	}
+	ld.source[path] = pkg
+	return pkg
+}
+
+// FuncDecl finds the source declaration of fn, loading its package from
+// source if needed. Matching is by package path, receiver base type name
+// and method name — never by token position, because fn may originate from
+// export data, whose positions do not line up with parsed source.
+func (ld *Loader) FuncDecl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	pkg := ld.LoadSource(fn.Pkg().Path())
+	if pkg == nil {
+		return nil, nil
+	}
+	recvName := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recvName = receiverBaseName(sig.Recv().Type())
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn.Name() {
+				continue
+			}
+			if declReceiverName(fd) == recvName {
+				return pkg, fd
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receiverBaseName returns the named type behind a receiver type.
+func receiverBaseName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// declReceiverName returns the receiver base type name of a FuncDecl, or ""
+// for a plain function.
+func declReceiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,806 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simPkgPath is the package every audited signal type lives in.
+const simPkgPath = "vidi/internal/sim"
+
+// maxExpandDepth bounds the interprocedural call expansion. Helper chains in
+// this codebase are shallow (Eval → helper → Channel accessor); anything
+// deeper is treated as opaque.
+const maxExpandDepth = 6
+
+// pathset is a set of symbolic access paths, each mapped to the source
+// position that first produced it. Paths are rooted at ":recv" (the method
+// receiver) or "global:<pkg>.<name>" (a package-level variable) and extend
+// through field selections: ":recv.iface.AW.Valid".
+type pathset map[string]token.Pos
+
+func (ps pathset) add(path string, pos token.Pos) pathset {
+	if ps == nil {
+		ps = pathset{}
+	}
+	if _, ok := ps[path]; !ok {
+		ps[path] = pos
+	}
+	return ps
+}
+
+func (ps pathset) union(other pathset) pathset {
+	if len(other) == 0 {
+		return ps
+	}
+	if ps == nil {
+		ps = pathset{}
+	}
+	for p, pos := range other {
+		if _, ok := ps[p]; !ok {
+			ps[p] = pos
+		}
+	}
+	return ps
+}
+
+// unresolvedCall is a call the scanner could not see through even though
+// signals flow into it; the enclosing module cannot be audited precisely.
+type unresolvedCall struct {
+	pos  token.Pos
+	what string
+}
+
+// scan is one symbolic walk over a function body (and the helpers it
+// calls). It accumulates the signal paths read and driven, plus any calls
+// it had to give up on.
+type scan struct {
+	ld         *Loader
+	reads      pathset
+	drives     pathset
+	unresolved []unresolvedCall
+	stack      []*types.Func
+}
+
+// frame is the per-function evaluation state: the package the function's
+// source lives in (for types.Info lookups) and the variable environment.
+type frame struct {
+	pkg  *Package
+	env  map[types.Object]pathset
+	rets []pathset // per-result-index unions over all return statements
+	// named result objects, for bare `return` with named results
+	resultObjs []types.Object
+}
+
+func newFrame(pkg *Package, results int) *frame {
+	return &frame{pkg: pkg, env: map[types.Object]pathset{}, rets: make([]pathset, results)}
+}
+
+func (fr *frame) bind(obj types.Object, ps pathset) {
+	if obj == nil {
+		return
+	}
+	fr.env[obj] = fr.env[obj].union(ps)
+}
+
+// namedType unwraps pointers and reports the defining package path and name
+// of a named type. Comparison is by name, never by object identity, because
+// the same type may be materialised once from export data and once from
+// source.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed || n.Obj() == nil {
+		return "", "", false
+	}
+	if n.Obj().Pkg() == nil {
+		return "", n.Obj().Name(), true
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name(), true
+}
+
+// isSimType reports whether t (possibly behind a pointer) is the named sim
+// package type.
+func isSimType(t types.Type, name string) bool {
+	p, n, ok := namedType(t)
+	return ok && p == simPkgPath && n == name
+}
+
+// signalCarrier reports whether values of type t can transport simulator
+// signals: *sim.Wire, *sim.Data, *sim.Channel, the sim.Signal interface,
+// sim.Sensitivity, or any composite/struct reachable from them.
+func signalCarrier(t types.Type) bool {
+	return carrier(t, map[types.Type]bool{})
+}
+
+func carrier(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if p, n, ok := namedType(t); ok && p == simPkgPath {
+		switch n {
+		case "Wire", "Data", "Channel", "Signal", "Sensitivity":
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return carrier(u.Elem(), seen)
+	case *types.Slice:
+		return carrier(u.Elem(), seen)
+	case *types.Array:
+		return carrier(u.Elem(), seen)
+	case *types.Map:
+		return carrier(u.Key(), seen) || carrier(u.Elem(), seen)
+	case *types.Chan:
+		return carrier(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carrier(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accessorKind classifies a method of sim.Wire or sim.Data as a signal read
+// ("read"), a signal drive ("drive") or neither ("").
+func accessorKind(recv types.Type, method string) string {
+	switch {
+	case isSimType(recv, "Wire"):
+		switch method {
+		case "Get":
+			return "read"
+		case "Set":
+			return "drive"
+		}
+	case isSimType(recv, "Data"):
+		switch method {
+		case "Get", "Snapshot", "Uint64":
+			return "read"
+		case "Set", "SetUint64":
+			return "drive"
+		}
+	}
+	return ""
+}
+
+// scanFunc symbolically executes a function body. recvPaths seeds the
+// receiver; args seeds the parameters (one pathset per parameter, variadic
+// tail unioned by the caller via call()).
+func (sc *scan) scanFunc(pkg *Package, fd *ast.FuncDecl, recvPaths pathset, args []pathset) []pathset {
+	nresults := 0
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			if n := len(f.Names); n > 0 {
+				nresults += n
+			} else {
+				nresults++
+			}
+		}
+	}
+	fr := newFrame(pkg, nresults)
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		fr.bind(pkg.Info.Defs[fd.Recv.List[0].Names[0]], recvPaths)
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			names := f.Names
+			if len(names) == 0 {
+				i++ // unnamed parameter consumes an argument slot
+				continue
+			}
+			for _, name := range names {
+				if i < len(args) {
+					fr.bind(pkg.Info.Defs[name], args[i])
+				}
+				i++
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				fr.resultObjs = append(fr.resultObjs, pkg.Info.Defs[name])
+			}
+		}
+	}
+	if fd.Body != nil {
+		sc.block(fr, fd.Body)
+	}
+	return fr.rets
+}
+
+func (sc *scan) block(fr *frame, b *ast.BlockStmt) {
+	for _, s := range b.List {
+		sc.stmt(fr, s)
+	}
+}
+
+func (sc *scan) stmt(fr *frame, s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		sc.expr(fr, st.X)
+	case *ast.AssignStmt:
+		sc.assign(fr, st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var vals []pathset
+				if len(vs.Values) == 1 && len(vs.Names) > 1 {
+					if c, isCall := vs.Values[0].(*ast.CallExpr); isCall {
+						vals = sc.call(fr, c)
+					}
+				}
+				if vals == nil {
+					for _, v := range vs.Values {
+						vals = append(vals, sc.expr(fr, v))
+					}
+				}
+				for i, name := range vs.Names {
+					if i < len(vals) {
+						fr.bind(fr.pkg.Info.Defs[name], vals[i])
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			sc.stmt(fr, st.Init)
+		}
+		sc.expr(fr, st.Cond)
+		sc.block(fr, st.Body)
+		if st.Else != nil {
+			sc.stmt(fr, st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			sc.stmt(fr, st.Init)
+		}
+		if st.Cond != nil {
+			sc.expr(fr, st.Cond)
+		}
+		if st.Post != nil {
+			sc.stmt(fr, st.Post)
+		}
+		sc.block(fr, st.Body)
+	case *ast.RangeStmt:
+		base := sc.expr(fr, st.X)
+		// Range elements inherit the container's path: an access through the
+		// element is an access through the container.
+		for _, lhs := range []ast.Expr{st.Key, st.Value} {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := fr.pkg.Info.Defs[id]; obj != nil {
+					fr.bind(obj, base)
+				}
+			}
+		}
+		sc.block(fr, st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			sc.stmt(fr, st.Init)
+		}
+		if st.Tag != nil {
+			sc.expr(fr, st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					sc.expr(fr, e)
+				}
+				for _, bs := range cc.Body {
+					sc.stmt(fr, bs)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			sc.stmt(fr, st.Init)
+		}
+		var subject pathset
+		switch a := st.Assign.(type) {
+		case *ast.ExprStmt:
+			subject = sc.expr(fr, a.X)
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				subject = sc.expr(fr, a.Rhs[0])
+			}
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if obj := fr.pkg.Info.Implicits[cc]; obj != nil {
+					fr.bind(obj, subject)
+				}
+				for _, bs := range cc.Body {
+					sc.stmt(fr, bs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		var vals []pathset
+		if len(st.Results) == 1 && len(fr.rets) > 1 {
+			if c, ok := st.Results[0].(*ast.CallExpr); ok {
+				vals = sc.call(fr, c)
+			}
+		}
+		if vals == nil {
+			for _, r := range st.Results {
+				vals = append(vals, sc.expr(fr, r))
+			}
+		}
+		if len(st.Results) == 0 && len(fr.resultObjs) == len(fr.rets) {
+			for i, obj := range fr.resultObjs {
+				if obj != nil {
+					fr.rets[i] = fr.rets[i].union(fr.env[obj])
+				}
+			}
+			return
+		}
+		for i := range fr.rets {
+			if i < len(vals) {
+				fr.rets[i] = fr.rets[i].union(vals[i])
+			}
+		}
+	case *ast.DeferStmt:
+		sc.call(fr, st.Call)
+	case *ast.GoStmt:
+		sc.call(fr, st.Call)
+	case *ast.IncDecStmt:
+		sc.expr(fr, st.X)
+	case *ast.BlockStmt:
+		sc.block(fr, st)
+	case *ast.LabeledStmt:
+		sc.stmt(fr, st.Stmt)
+	case *ast.SendStmt:
+		sc.expr(fr, st.Chan)
+		sc.expr(fr, st.Value)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					sc.stmt(fr, cc.Comm)
+				}
+				for _, bs := range cc.Body {
+					sc.stmt(fr, bs)
+				}
+			}
+		}
+	}
+}
+
+// assign evaluates an assignment, threading pathsets into identifier
+// targets. Non-identifier targets (field stores, index stores) are
+// evaluated for their accessor side effects only.
+func (sc *scan) assign(fr *frame, st *ast.AssignStmt) {
+	var vals []pathset
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		switch r := st.Rhs[0].(type) {
+		case *ast.CallExpr:
+			vals = sc.call(fr, r)
+		case *ast.TypeAssertExpr:
+			vals = []pathset{sc.expr(fr, r.X), nil}
+		case *ast.IndexExpr:
+			vals = []pathset{sc.expr(fr, r), nil}
+		default:
+			vals = []pathset{sc.expr(fr, r)}
+		}
+	} else {
+		for _, r := range st.Rhs {
+			vals = append(vals, sc.expr(fr, r))
+		}
+	}
+	for i, lhs := range st.Lhs {
+		var v pathset
+		if i < len(vals) {
+			v = vals[i]
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if obj := fr.pkg.Info.Defs[l]; obj != nil {
+				fr.bind(obj, v)
+			} else if obj := fr.pkg.Info.Uses[l]; obj != nil {
+				fr.bind(obj, v)
+			}
+		default:
+			// A store through a selector or index: evaluate the target for
+			// any embedded accessor calls.
+			sc.expr(fr, lhs)
+		}
+	}
+}
+
+// expr evaluates an expression to the pathset of the signals it may denote,
+// recording reads/drives for any Wire/Data accessor calls encountered.
+func (sc *scan) expr(fr *frame, e ast.Expr) pathset {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := fr.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = fr.pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return nil
+		}
+		if ps, ok := fr.env[obj]; ok {
+			return ps
+		}
+		if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && signalCarrier(v.Type()) {
+			return pathset{}.add("global:"+v.Pkg().Path()+"."+v.Name(), x.Pos())
+		}
+		return nil
+	case *ast.SelectorExpr:
+		sel, ok := fr.pkg.Info.Selections[x]
+		if !ok {
+			// Qualified identifier (pkg.Name): resolve the object directly.
+			if obj := fr.pkg.Info.Uses[x.Sel]; obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && signalCarrier(v.Type()) {
+					return pathset{}.add("global:"+v.Pkg().Path()+"."+v.Name(), x.Pos())
+				}
+			}
+			return nil
+		}
+		switch sel.Kind() {
+		case types.FieldVal:
+			base := sc.expr(fr, x.X)
+			if len(base) == 0 {
+				return nil
+			}
+			suffix := fieldChain(sel)
+			out := pathset{}
+			for p := range base {
+				out.add(p+suffix, x.Pos())
+			}
+			return out
+		case types.MethodVal, types.MethodExpr:
+			// Method value used without an immediate call; the receiver
+			// escapes into a func value we cannot follow.
+			if ps := sc.expr(fr, x.X); len(ps) > 0 {
+				sc.giveUp(x.Pos(), "method value "+x.Sel.Name)
+			}
+			return nil
+		}
+		return nil
+	case *ast.CallExpr:
+		rs := sc.call(fr, x)
+		if len(rs) > 0 {
+			return rs[0]
+		}
+		return nil
+	case *ast.ParenExpr:
+		return sc.expr(fr, x.X)
+	case *ast.StarExpr:
+		return sc.expr(fr, x.X)
+	case *ast.UnaryExpr:
+		return sc.expr(fr, x.X)
+	case *ast.BinaryExpr:
+		l := sc.expr(fr, x.X)
+		return l.union(sc.expr(fr, x.Y))
+	case *ast.IndexExpr:
+		sc.expr(fr, x.Index)
+		return sc.expr(fr, x.X)
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx != nil {
+				sc.expr(fr, idx)
+			}
+		}
+		return sc.expr(fr, x.X)
+	case *ast.TypeAssertExpr:
+		return sc.expr(fr, x.X)
+	case *ast.CompositeLit:
+		out := pathset{}
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				out = out.union(sc.expr(fr, kv.Value))
+				continue
+			}
+			out = out.union(sc.expr(fr, el))
+		}
+		return out
+	case *ast.FuncLit:
+		// Scan the closure body in the enclosing environment: its captured
+		// accesses count as the caller's (union semantics make scanning at
+		// creation equivalent to scanning at every call site).
+		lfr := newFrame(fr.pkg, 0)
+		for obj, ps := range fr.env {
+			lfr.env[obj] = ps
+		}
+		sc.block(lfr, x.Body)
+		return nil
+	}
+	return nil
+}
+
+// fieldChain renders the (possibly embedded-field-hopping) selection as a
+// ".A.B" suffix so that x.B and x.A.B name the same promoted field
+// identically on both the declared and the actual side.
+func fieldChain(sel *types.Selection) string {
+	t := sel.Recv()
+	var b strings.Builder
+	for _, idx := range sel.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			break
+		}
+		f := st.Field(idx)
+		b.WriteString(".")
+		b.WriteString(f.Name())
+		t = f.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+	}
+	return b.String()
+}
+
+// giveUp records an unresolvable signal-relevant call.
+func (sc *scan) giveUp(pos token.Pos, what string) {
+	sc.unresolved = append(sc.unresolved, unresolvedCall{pos: pos, what: what})
+}
+
+// call evaluates a call expression: primitive accessors record reads and
+// drives; module-local and cross-package helpers are expanded from source;
+// everything else is opaque and flagged if signals flow into it.
+func (sc *scan) call(fr *frame, c *ast.CallExpr) []pathset {
+	fun := ast.Unparen(c.Fun)
+
+	// Type conversion: T(x) carries x's paths through.
+	if tv, ok := fr.pkg.Info.Types[fun]; ok && tv.IsType() {
+		var out pathset
+		for _, a := range c.Args {
+			out = out.union(sc.expr(fr, a))
+		}
+		return []pathset{out}
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := fr.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			var out pathset
+			for _, a := range c.Args {
+				out = out.union(sc.expr(fr, a))
+			}
+			switch id.Name {
+			case "append":
+				return []pathset{out}
+			default:
+				return []pathset{nil}
+			}
+		}
+	}
+
+	var fn *types.Func
+	var recvPaths pathset
+	var recvExpr ast.Expr
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj, ok := fr.pkg.Info.Uses[f].(*types.Func); ok {
+			fn = obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := fr.pkg.Info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				fn, _ = sel.Obj().(*types.Func)
+				recvExpr = f.X
+				recvPaths = sc.expr(fr, f.X)
+			case types.FieldVal:
+				// Call through a func-typed field (e.g. m.AWGap() or a wake
+				// callback). The owning struct is not passed to the callee,
+				// so it does not count as signals flowing in; only the
+				// arguments do. Closures that capture wires anyway are the
+				// dynamic checker's job (see internal/sim SetSensitivityCheck).
+				sc.expr(fr, f.X)
+			}
+		} else if obj, ok := fr.pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			fn = obj // qualified pkg.Func
+		}
+	case *ast.FuncLit:
+		lfr := newFrame(fr.pkg, numFuncLitResults(f))
+		for obj, ps := range fr.env {
+			lfr.env[obj] = ps
+		}
+		i := 0
+		for _, p := range f.Type.Params.List {
+			for _, name := range p.Names {
+				if i < len(c.Args) {
+					lfr.bind(fr.pkg.Info.Defs[name], sc.expr(fr, c.Args[i]))
+				}
+				i++
+			}
+		}
+		sc.block(lfr, f.Body)
+		return lfr.rets
+	}
+
+	// Evaluate arguments (for their accessor side effects) regardless of how
+	// the callee resolves.
+	args := make([]pathset, 0, len(c.Args))
+	for _, a := range c.Args {
+		args = append(args, sc.expr(fr, a))
+	}
+
+	results := 1
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			results = sig.Results().Len()
+		}
+	}
+
+	if fn != nil {
+		// Primitive Wire/Data accessor?
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch accessorKind(sig.Recv().Type(), fn.Name()) {
+			case "read":
+				sc.reads = sc.reads.union(posAt(recvPaths, c.Pos()))
+				return make([]pathset, results)
+			case "drive":
+				sc.drives = sc.drives.union(posAt(recvPaths, c.Pos()))
+				return make([]pathset, results)
+			}
+			// Interface method: never expandable.
+			if types.IsInterface(sig.Recv().Type().Underlying()) {
+				sc.opaque(fr, c, callName(fun), fn, recvExpr, recvPaths, args)
+				return make([]pathset, results)
+			}
+		}
+		// Standard-library calls never touch simulator wires.
+		if fn.Pkg() == nil || sc.ld.isStandard(fn.Pkg().Path()) {
+			return make([]pathset, results)
+		}
+		// Expand from source.
+		if len(sc.stack) < maxExpandDepth && !sc.inStack(fn) {
+			if dpkg, fd := sc.ld.FuncDecl(fn); fd != nil && fd.Body != nil {
+				sc.stack = append(sc.stack, fn)
+				rets := sc.scanFunc(dpkg, fd, recvPaths, sc.flattenVariadic(fn, args))
+				sc.stack = sc.stack[:len(sc.stack)-1]
+				for len(rets) < results {
+					rets = append(rets, nil)
+				}
+				return rets
+			}
+		}
+	}
+
+	sc.opaque(fr, c, callName(fun), fn, recvExpr, recvPaths, args)
+	return make([]pathset, results)
+}
+
+// flattenVariadic folds the trailing arguments of a variadic call into one
+// pathset so they bind to the single variadic parameter.
+func (sc *scan) flattenVariadic(fn *types.Func, args []pathset) []pathset {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return args
+	}
+	n := sig.Params().Len()
+	if len(args) <= n {
+		return args
+	}
+	out := make([]pathset, n)
+	copy(out, args[:n-1])
+	var tail pathset
+	for _, a := range args[n-1:] {
+		tail = tail.union(a)
+	}
+	out[n-1] = tail
+	return out
+}
+
+// opaque handles a call that cannot be expanded: it is safe unless signals
+// can flow into it, in which case the module cannot be audited statically.
+func (sc *scan) opaque(fr *frame, c *ast.CallExpr, name string, fn *types.Func, recvExpr ast.Expr, recvPaths pathset, args []pathset) {
+	carrierIn := len(recvPaths) > 0
+	if !carrierIn && recvExpr != nil {
+		if tv, ok := fr.pkg.Info.Types[recvExpr]; ok && signalCarrier(tv.Type) {
+			carrierIn = true
+		}
+	}
+	for i, a := range c.Args {
+		if i < len(args) && len(args[i]) > 0 {
+			carrierIn = true
+			break
+		}
+		if tv, ok := fr.pkg.Info.Types[a]; ok && signalCarrier(tv.Type) {
+			carrierIn = true
+			break
+		}
+	}
+	if carrierIn {
+		sc.giveUp(c.Pos(), name)
+	}
+}
+
+// posAt rebases every path in ps to the given position, so a diagnostic
+// points at the accessor call site rather than where the path was built.
+func posAt(ps pathset, pos token.Pos) pathset {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := pathset{}
+	for p := range ps {
+		out[p] = pos
+	}
+	return out
+}
+
+func (sc *scan) inStack(fn *types.Func) bool {
+	for _, f := range sc.stack {
+		if f == fn || (f.Pkg() != nil && fn.Pkg() != nil &&
+			f.Pkg().Path() == fn.Pkg().Path() && f.FullName() == fn.FullName()) {
+			return true
+		}
+	}
+	return false
+}
+
+func numFuncLitResults(f *ast.FuncLit) int {
+	if f.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range f.Type.Results.List {
+		if len(r.Names) > 0 {
+			n += len(r.Names)
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// callName renders a call target for diagnostics.
+func callName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return callName(f.X) + "." + f.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// isStandard reports whether the import path is a standard-library package.
+func (ld *Loader) isStandard(path string) bool {
+	if p, ok := ld.listed[path]; ok {
+		return p.Standard
+	}
+	// Not in the load graph: assume stdlib iff the first path element has no
+	// dot (the usual go tooling heuristic).
+	first := path
+	if i := strings.IndexByte(first, '/'); i >= 0 {
+		first = first[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// renderPath rewrites the ":recv" root to the given receiver name for
+// human-readable diagnostics.
+func renderPath(path, recv string) string {
+	if strings.HasPrefix(path, ":recv") {
+		return recv + strings.TrimPrefix(path, ":recv")
+	}
+	return strings.TrimPrefix(path, "global:")
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensAuditFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{SensAudit}, "testdata/src/sensfix")
+}
+
+// TestBareWaiverReported checks that a //lint:sensaudit directive with no
+// reason suppresses nothing and is itself diagnosed. This lives outside the
+// want-comment fixture because the waiver diagnostic lands on the comment's
+// own line, where no want comment can sit.
+func TestBareWaiverReported(t *testing.T) {
+	ld, err := NewLoader("testdata/src/waivefix", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := Run(ld, []*Analyzer{SensAudit})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sawMissingReason, sawUndeclaredRead bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "missing a reason"):
+			sawMissingReason = true
+		case strings.Contains(d.Message, "reads m.in"):
+			sawUndeclaredRead = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if !sawMissingReason {
+		t.Errorf("bare waiver was not reported; diagnostics: %v", diags)
+	}
+	if !sawUndeclaredRead {
+		t.Errorf("bare waiver suppressed the undeclared-read diagnostic; diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,85 @@
+// Package handfix is a want-comment fixture for the handshake analyzer.
+package handfix
+
+import "vidi/internal/sim"
+
+// UnguardedRead samples the data bus with no handshake check at all.
+type UnguardedRead struct {
+	ch  *sim.Channel
+	got []byte
+}
+
+func (u *UnguardedRead) Name() string { return "unguarded" }
+func (u *UnguardedRead) Eval()        {}
+
+func (u *UnguardedRead) Tick() {
+	u.got = u.ch.Data.Snapshot() // want `reads u\.ch\.Data without checking`
+}
+
+// CrossGuard checks one channel and reads another.
+type CrossGuard struct {
+	a, b *sim.Channel
+	got  []byte
+}
+
+func (c *CrossGuard) Name() string { return "cross-guard" }
+func (c *CrossGuard) Eval()        {}
+
+func (c *CrossGuard) Tick() {
+	if c.a.Fired() {
+		c.got = c.b.Data.Snapshot() // want `reads c\.b\.Data without checking`
+	}
+}
+
+// Guarded shows every accepted guard shape; it must report nothing.
+type Guarded struct {
+	ch  *sim.Channel
+	got []byte
+	n   uint64
+}
+
+func (g *Guarded) Name() string { return "guarded" }
+func (g *Guarded) Eval()        {}
+
+func (g *Guarded) Tick() {
+	if g.ch.Fired() {
+		g.got = g.ch.Data.Snapshot()
+	}
+	if g.ch.Valid.Get() && g.ch.Data.Uint64() > 0 {
+		g.n++
+	}
+	if !g.ch.StartedNow() {
+		return
+	}
+	g.got = append(g.got, g.ch.Data.Snapshot()...)
+}
+
+// DualValid owns its VALID wire from both phases.
+type DualValid struct {
+	ch *sim.Channel
+	on bool
+}
+
+func (d *DualValid) Name() string { return "dual-valid" }
+
+func (d *DualValid) Eval() {
+	d.ch.Valid.Set(d.on)
+}
+
+func (d *DualValid) Tick() {
+	d.ch.Valid.Set(false) // want `drives d\.ch\.Valid from both Eval and Tick`
+}
+
+// WaivedTick has an unguarded read excused by a line waiver.
+type WaivedTick struct {
+	ch  *sim.Channel
+	got []byte
+}
+
+func (w *WaivedTick) Name() string { return "waived-tick" }
+func (w *WaivedTick) Eval()        {}
+
+func (w *WaivedTick) Tick() {
+	//lint:handshake fixture: the producer asserts VALID every cycle
+	w.got = w.ch.Data.Snapshot()
+}

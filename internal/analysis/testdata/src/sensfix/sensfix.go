@@ -1,0 +1,136 @@
+// Package sensfix is a want-comment fixture for the sensaudit analyzer.
+// Each `// want` comment asserts a diagnostic on its line; modules without
+// wants must audit clean.
+package sensfix
+
+import "vidi/internal/sim"
+
+// UndeclaredRead reads a wire missing from its declaration.
+type UndeclaredRead struct {
+	in, out *sim.Wire
+}
+
+func (u *UndeclaredRead) Name() string { return "undeclared-read" }
+func (u *UndeclaredRead) Tick()        {}
+
+// Sensitivity omits the in wire.
+func (u *UndeclaredRead) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{u.out}}
+}
+
+func (u *UndeclaredRead) Eval() {
+	u.out.Set(u.in.Get()) // want `Eval of UndeclaredRead reads u\.in`
+}
+
+// UndeclaredDrive drives a wire missing from its declaration.
+type UndeclaredDrive struct {
+	in, out *sim.Wire
+}
+
+func (u *UndeclaredDrive) Name() string { return "undeclared-drive" }
+func (u *UndeclaredDrive) Tick()        {}
+
+// Sensitivity omits the out wire.
+func (u *UndeclaredDrive) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{u.in}}
+}
+
+func (u *UndeclaredDrive) Eval() {
+	u.out.Set(u.in.Get()) // want `Eval of UndeclaredDrive drives u\.out`
+}
+
+// DeadDecl declares signals Eval never touches.
+type DeadDecl struct {
+	in, out, unused, never *sim.Wire
+}
+
+func (d *DeadDecl) Name() string { return "dead-decl" }
+func (d *DeadDecl) Tick()        {}
+
+// Sensitivity over-declares both sets.
+func (d *DeadDecl) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{
+		Reads:  []sim.Signal{d.in, d.unused}, // want `DeadDecl declares a Read of d\.unused that Eval never reads`
+		Drives: []sim.Signal{d.out, d.never}, // want `DeadDecl declares a Drive of d\.never`
+	}
+}
+
+func (d *DeadDecl) Eval() { d.out.Set(d.in.Get()) }
+
+// ViaHelper declares its drives through a cross-package helper; the
+// expansion must line up with the direct accessor paths in Eval.
+type ViaHelper struct {
+	ch *sim.Channel
+}
+
+func (v *ViaHelper) Name() string { return "via-helper" }
+func (v *ViaHelper) Tick()        {}
+
+// Sensitivity goes through sim.Channel.ReceiverSignals.
+func (v *ViaHelper) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: v.ch.ReceiverSignals()}
+}
+
+func (v *ViaHelper) Eval() { v.ch.Ready.Set(true) }
+
+// Conservative is misdeclared but exempt via ReadsAll.
+type Conservative struct {
+	in, out *sim.Wire
+}
+
+func (c *Conservative) Name() string { return "conservative" }
+func (c *Conservative) Tick()        {}
+
+// Sensitivity declares everything.
+func (c *Conservative) Sensitivity() sim.Sensitivity { return sim.ReadsEverything() }
+
+func (c *Conservative) Eval() { c.out.Set(c.in.Get()) }
+
+// Waived is misdeclared but carries a function-level waiver.
+type Waived struct {
+	in, out *sim.Wire
+}
+
+func (w *Waived) Name() string { return "waived" }
+func (w *Waived) Tick()        {}
+
+// Sensitivity declares nothing.
+func (w *Waived) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+// Eval is exempt for this fixture.
+//
+//lint:sensaudit fixture exercises the function-level waiver path
+func (w *Waived) Eval() { w.out.Set(w.in.Get()) }
+
+// LineWaived is misdeclared but waived on the diagnosed line itself.
+type LineWaived struct {
+	in, out *sim.Wire
+}
+
+func (l *LineWaived) Name() string { return "line-waived" }
+func (l *LineWaived) Tick()        {}
+
+// Sensitivity declares only the drive.
+func (l *LineWaived) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{l.out}}
+}
+
+func (l *LineWaived) Eval() {
+	l.out.Set(l.in.Get()) //lint:sensaudit fixture exercises the line waiver path
+}
+
+// Opaque calls through an interface that signals flow into, so it cannot
+// be audited statically.
+type Opaque struct {
+	sig sim.Signal
+}
+
+func (o *Opaque) Name() string { return "opaque" }
+func (o *Opaque) Tick()        {}
+
+// Sensitivity declares nothing, which is not enough for an unresolvable Eval.
+func (o *Opaque) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+func (o *Opaque) Eval() {
+	_ = o.sig.Name() // want `cannot statically resolve call to o\.sig\.Name`
+}

@@ -1,0 +1,24 @@
+// Package waivefix holds a waiver with no reason: the waiver must suppress
+// nothing and must itself be reported. (Checked programmatically, not with
+// want comments, because the diagnostic lands on the comment's own line.)
+package waivefix
+
+import "vidi/internal/sim"
+
+// M reads a wire it does not declare, under a bare waiver.
+type M struct {
+	in, out *sim.Wire
+}
+
+func (m *M) Name() string { return "m" }
+func (m *M) Tick()        {}
+
+// Sensitivity omits the in wire.
+func (m *M) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{m.out}}
+}
+
+// Eval carries a reason-less waiver.
+//
+//lint:sensaudit
+func (m *M) Eval() { m.out.Set(m.in.Get()) }

@@ -30,7 +30,12 @@ func TestAllAppsNativeGolden(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			res, err := eval.Run(eval.RunConfig{App: name, Scale: 1, Seed: 101, Cfg: eval.R1})
+			res, err := eval.Run(eval.RunConfig{
+				App: name, Scale: 1, Seed: 101, Cfg: eval.R1,
+				// Audit every module's Sensitivity declaration while the
+				// apps run their golden checks.
+				SensitivityCheck: true,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -136,8 +136,8 @@ func (r *CycleRecorder) Tick() {
 		Ready: make([]bool, len(r.outputs)),
 	}
 	for i, ch := range r.inputs {
-		cr.Valid[i] = ch.Valid.Get()
-		if cr.Valid[i] {
+		if ch.Valid.Get() {
+			cr.Valid[i] = true
 			cr.Data[i] = ch.Data.Snapshot()
 		}
 	}

@@ -154,6 +154,9 @@ func (m *Monitor) Tick() {
 	if to.Fired() {
 		var content []byte
 		if m.bc.Info.Dir == trace.Output && m.enc.meta.ValidateOutputs {
+			// The monitor forwards cut-through: to fires in exactly the
+			// cycles from fires, so from's bus is live under to.Fired().
+			//lint:handshake cut-through forwarding makes to.Fired() equivalent to from.Fired()
 			content = from.Data.Snapshot()
 		}
 		m.enc.LogEnd(m.ci, content)

@@ -76,6 +76,10 @@ type RunConfig struct {
 	// Workers bounds the scheduler's partition worker pool when >0 (1 forces
 	// sequential partition evaluation).
 	Workers int
+	// SensitivityCheck arms the kernel's dynamic declaration checker
+	// (sim.Simulator.SetSensitivityCheck): every Eval is audited against its
+	// module's declared Reads/Drives and a mismatch fails the run.
+	SensitivityCheck bool
 }
 
 // RunResult is the outcome of one experiment run.
@@ -133,6 +137,7 @@ func Build(rc RunConfig) (*Built, error) {
 		JitterMax: jitter,
 	})
 	sys.Sim.SetLegacy(rc.LegacyKernel)
+	sys.Sim.SetSensitivityCheck(rc.SensitivityCheck)
 	if rc.Workers > 0 {
 		sys.Sim.SetWorkers(rc.Workers)
 	}

@@ -18,6 +18,9 @@ func goldenRun(t *testing.T, app string, legacy bool) (traceBytes, vcdBytes []by
 	res, err := Run(RunConfig{
 		App: app, Scale: 1, Seed: 7, Cfg: R2,
 		LegacyKernel: legacy, VCDPath: vcd,
+		// The golden runs double as the dynamic sensitivity audit: any
+		// Eval touching a signal outside its declaration fails the test.
+		SensitivityCheck: true,
 	})
 	if err != nil {
 		t.Fatalf("%s (legacy=%v): %v", app, legacy, err)
@@ -62,7 +65,7 @@ func TestKernelGoldenDeterminism(t *testing.T) {
 // record/replay cycle: the validation trace an R3 replay records must not
 // depend on which kernel ran the replay.
 func TestKernelGoldenReplay(t *testing.T) {
-	rec, err := Run(RunConfig{App: "dma-irq", Scale: 1, Seed: 7, Cfg: R2})
+	rec, err := Run(RunConfig{App: "dma-irq", Scale: 1, Seed: 7, Cfg: R2, SensitivityCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +74,7 @@ func TestKernelGoldenReplay(t *testing.T) {
 		rep, err := Run(RunConfig{
 			App: "dma-irq", Scale: 1, Seed: 7, Cfg: R3,
 			ReplayTrace: rec.Trace, LegacyKernel: legacy,
+			SensitivityCheck: true,
 		})
 		if err != nil {
 			t.Fatalf("replay (legacy=%v): %v", legacy, err)

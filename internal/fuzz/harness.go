@@ -93,6 +93,11 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 		JitterMax: sc.JitterMax,
 	})
 	sys.Sim.SetLegacy(o.legacy)
+	// The conformance fuzzer doubles as the dynamic sensitivity auditor:
+	// scheduler-side runs execute with declaration checking armed, so a
+	// generated module touching a signal outside its declared Sensitivity
+	// surfaces as a run error (finding) instead of a silent missed wakeup.
+	sys.Sim.SetSensitivityCheck(!o.legacy)
 	if o.watchdog > 0 {
 		sys.Sim.WatchdogWindow = o.watchdog
 	}

@@ -31,6 +31,15 @@ type Signal interface {
 // Sensitive at all get the safe ReadsAll fallback: they are re-evaluated on
 // every settle wave and force the whole design into a single sequential
 // partition, which is exactly the legacy kernel's behaviour.
+//
+// Audit invariant (enforced by `vidi-lint`'s sensaudit analyzer statically
+// and by SetSensitivityCheck at runtime): every Wire/Data read reachable
+// from Eval must appear in Reads (or Drives — re-reading a signal only the
+// module itself drives cannot miss a wakeup), and every Wire/Data write
+// reachable from Eval must appear in Drives. A module whose footprint the
+// static analyzer cannot resolve must either declare ReadsAll or carry a
+// `//lint:sensaudit <reason>` waiver; ReadsAll modules are reported in
+// Stats.ReadsAllModules so conservative fallbacks stay visible.
 type Sensitivity struct {
 	// ReadsAll marks a module that must be re-evaluated whenever anything
 	// in the design changes. It is the conservative fallback.
@@ -75,6 +84,11 @@ type Stable interface {
 // EvalStable at wave 0 of every cycle (the pre-refactor behaviour for all
 // modules). Returning false lets a configuration without the external
 // dependency (e.g. no shared link attached) skip the per-cycle poll.
+//
+// StablePoll gates only *when* Eval re-runs, never *what* it may touch: a
+// polled module's Eval is still bound by the audit invariant on Sensitivity
+// above — its signal reads and writes must match its declared Reads/Drives,
+// and both the sensaudit analyzer and the dynamic checker hold it to that.
 type StablePoll interface {
 	Stable
 	NeedsStablePoll() bool
@@ -213,13 +227,23 @@ type Stats struct {
 	// Workers is the number of goroutines used per settle/tick phase
 	// (1 means fully sequential).
 	Workers int
+	// ReadsAllModules names the modules scheduled with the conservative
+	// ReadsAll fallback, in registration order. Each one is re-evaluated on
+	// every settle wave and forces its whole component into one partition,
+	// so a non-empty list is the first place to look when the scheduler is
+	// not skipping work; vidi-lint's sensaudit cannot audit them either.
+	ReadsAllModules []string
 }
 
 // String formats the counters for vidi-bench -v.
 func (st Stats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"cycles=%d evals=%d waves=%d skipped=%d ticks-skipped=%d partitions=%d workers=%d",
 		st.Cycles, st.EvalCalls, st.SettleWaves, st.SkippedEvals, st.SkippedTicks, st.Partitions, st.Workers)
+	if len(st.ReadsAllModules) > 0 {
+		s += fmt.Sprintf(" readsall=%d%v", len(st.ReadsAllModules), st.ReadsAllModules)
+	}
+	return s
 }
 
 // modState is the scheduler's per-module bookkeeping.
@@ -273,6 +297,10 @@ type scheduler struct {
 	mods    []modState
 	parts   []partition
 	workers int // effective worker count for parallel phases
+
+	// readsAllNames lists the modules scheduled with the ReadsAll fallback,
+	// in registration order, so Stats can surface conservative fallbacks.
+	readsAllNames []string
 }
 
 // touched marks the readers of a changed signal pending. It runs on the
@@ -330,7 +358,16 @@ func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error 
 			}
 			ms.pending = false
 			p.pendingCount--
-			ms.m.Eval()
+			if pr := sc.sim.probe; pr != nil {
+				pr.begin()
+				ms.m.Eval()
+				pr.end()
+				if err := pr.check(int(mi), ms.m.Name(), cycle); err != nil {
+					return err
+				}
+			} else {
+				ms.m.Eval()
+			}
 			if ms.clear != nil {
 				ms.clear.settleEval()
 			}
@@ -504,6 +541,7 @@ func (s *Simulator) invalidate() {
 		s.sched.counters(&s.stats)
 		s.sched = nil
 	}
+	s.probe = nil
 	s.built = false
 }
 
@@ -628,6 +666,7 @@ func (s *Simulator) Build() error {
 
 	sens := make([]Sensitivity, nm)
 	haveAll := false
+	var readsAllNames []string
 	for i, m := range s.modules {
 		if sn, ok := m.(Sensitive); ok {
 			sens[i] = sn.Sensitivity()
@@ -635,6 +674,7 @@ func (s *Simulator) Build() error {
 			sens[i] = ReadsEverything()
 		}
 		if sens[i].ReadsAll {
+			readsAllNames = append(readsAllNames, m.Name())
 			haveAll = true
 			union(int32(i), int32(all))
 			continue
@@ -770,6 +810,14 @@ func (s *Simulator) Build() error {
 	if sc.workers < 1 {
 		sc.workers = 1
 	}
+	sc.readsAllNames = readsAllNames
+	if s.sensCheck {
+		// The probe's access record is a single buffer, so checking runs the
+		// partitions sequentially; results are unchanged (partitions are
+		// independent), only parallelism is lost.
+		s.probe = s.buildProbe(sens)
+		sc.workers = 1
+	}
 	s.sched = sc
 	s.built = true
 	return nil
@@ -783,6 +831,7 @@ func (s *Simulator) Stats() Stats {
 		s.sched.counters(&st)
 		st.Partitions = len(s.sched.parts)
 		st.Workers = s.sched.workers
+		st.ReadsAllModules = append([]string(nil), s.sched.readsAllNames...)
 	} else {
 		st.Partitions = 1
 		st.Workers = 1

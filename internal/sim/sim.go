@@ -119,6 +119,11 @@ type Simulator struct {
 	workers int
 	stats   Stats
 
+	// Dynamic sensitivity checker (SetSensitivityCheck): probe is non-nil
+	// while a schedule built with checking is live.
+	sensCheck bool
+	probe     *sensProbe
+
 	// Watchdog state: cycle of the most recent channel fire, and a running
 	// count of in-flight transactions (maintained at the latch phase).
 	lastFire    uint64

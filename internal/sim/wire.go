@@ -46,11 +46,19 @@ func (s *Simulator) NewWire(name string) *Wire {
 func (w *Wire) Name() string { return w.name }
 
 // Get returns the wire's current value.
-func (w *Wire) Get() bool { return w.val }
+func (w *Wire) Get() bool {
+	if p := w.sim.probe; p != nil {
+		p.onRead(&w.sigcore)
+	}
+	return w.val
+}
 
 // Set drives the wire. A change of value re-triggers the combinational
 // settle of the wire's readers.
 func (w *Wire) Set(v bool) {
+	if p := w.sim.probe; p != nil {
+		p.onWrite(&w.sigcore)
+	}
 	if w.val != v {
 		w.val = v
 		w.sigcore.changed()
@@ -82,10 +90,18 @@ func (d *Data) Width() int { return d.width }
 
 // Get returns the bus's current value. The returned slice is the live
 // backing array; callers must not modify it. Use Snapshot for a copy.
-func (d *Data) Get() []byte { return d.val }
+func (d *Data) Get() []byte {
+	if p := d.sim.probe; p != nil {
+		p.onRead(&d.sigcore)
+	}
+	return d.val
+}
 
 // Snapshot returns a copy of the bus's current value.
 func (d *Data) Snapshot() []byte {
+	if p := d.sim.probe; p != nil {
+		p.onRead(&d.sigcore)
+	}
 	c := make([]byte, d.width)
 	copy(c, d.val)
 	return c
@@ -95,6 +111,9 @@ func (d *Data) Snapshot() []byte {
 // remaining bytes are zeroed. A change of value re-triggers the settle of
 // the bus's readers.
 func (d *Data) Set(b []byte) {
+	if p := d.sim.probe; p != nil {
+		p.onWrite(&d.sigcore)
+	}
 	if len(b) > d.width {
 		b = b[:d.width]
 	}
@@ -124,6 +143,9 @@ func (d *Data) SetUint64(v uint64) {
 
 // Uint64 interprets the low 8 bytes of the bus as a little-endian integer.
 func (d *Data) Uint64() uint64 {
+	if p := d.sim.probe; p != nil {
+		p.onRead(&d.sigcore)
+	}
 	var v uint64
 	n := 8
 	if d.width < n {
