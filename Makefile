@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke ci bench tables examples fuzz clean
+.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke telemetry-smoke ci bench tables examples fuzz clean
 
 all: build vet lint test
 
@@ -53,15 +53,27 @@ race-golden:
 fuzz-smoke:
 	$(GO) run ./cmd/vidi-fuzz -seeds 50 -corpus internal/fuzz/corpus
 
+# End-to-end telemetry smoke: an instrumented recording must emit a metrics
+# snapshot vidi-top can render and a timeline it validates as trace_event
+# JSON, and the live -app mode must work for both acceptance apps.
+telemetry-smoke:
+	$(GO) run ./cmd/vidi-record -app sssp -seed 42 -out /tmp/vidi-smoke.vidt \
+	    -metrics /tmp/vidi-smoke-metrics.json -trace-out /tmp/vidi-smoke-trace.json
+	$(GO) run ./cmd/vidi-top -metrics /tmp/vidi-smoke-metrics.json
+	$(GO) run ./cmd/vidi-top -trace /tmp/vidi-smoke-trace.json
+	$(GO) run ./cmd/vidi-top -app framefifo -seed 7
+
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke
+ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke telemetry-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
-# Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs scheduler)
-# so the kernel perf trajectory is tracked across PRs.
+# Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs
+# scheduler, plus the sink-overhead column) and BENCH_metrics.json (the
+# merged telemetry snapshot of the instrumented runs) so the kernel perf
+# trajectory is tracked across PRs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/vidi-bench -table kernel -reps 2 -json BENCH_kernel.json
+	$(GO) run ./cmd/vidi-bench -table kernel -reps 2 -json BENCH_kernel.json -metrics BENCH_metrics.json
 
 # Formatted paper-vs-measured tables (Table 1/2, Fig 7, §5.4, §6, sizes).
 tables:

@@ -12,19 +12,37 @@
 //	vidi-bench -table faults         # fault-injection resilience matrix
 //	vidi-bench -table kernel         # simulation-kernel throughput (legacy vs scheduler)
 //	vidi-bench -table kernel -json BENCH_kernel.json   # + machine-readable artifact
+//	vidi-bench -table kernel -metrics BENCH_metrics.json   # + merged telemetry snapshot
 //	vidi-bench -all
 //
 // -v prints the simulation kernel's scheduler counters (eval calls, settle
 // waves, skipped evals, partitions) for every run it performs.
+//
+// With -table kernel, -metrics writes the merged telemetry snapshot of the
+// instrumented runs (each app's series labelled app=<name>; inspect with
+// vidi-top -metrics) and -trace-out runs one traced recording per app,
+// writing per-app Perfetto timelines with the app name suffixed to the
+// path. -pprof profiles the whole invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"vidi/internal/cliutil"
 	"vidi/internal/eval"
+	"vidi/internal/telemetry"
 )
+
+// perAppPath inserts the app name before the path's extension:
+// trace.json + sssp → trace-sssp.json.
+func perAppPath(path, app string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + app + ext
+}
 
 func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2, sizes, effectiveness, bandwidth, faults, kernel")
@@ -35,12 +53,16 @@ func main() {
 	seed := flag.Int64("seed", 1000, "base seed")
 	verbose := flag.Bool("v", false, "print per-run simulation-kernel scheduler counters")
 	jsonOut := flag.String("json", "", "with -table kernel: also write the rows to this JSON file")
+	tel := cliutil.AddTelemetryFlags()
 	flag.Parse()
 
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vidi-bench:", err)
 		os.Exit(1)
+	}
+	if err := tel.Start(); err != nil {
+		fail(err)
 	}
 	if *all || *table == "1" {
 		ran = true
@@ -99,7 +121,7 @@ func main() {
 		ran = true
 		fmt.Println("== Simulation-kernel throughput: legacy fixpoint vs sensitivity scheduler ==")
 		apps := append(eval.DefaultTableApps(), "dma-irq", "stress")
-		rows, stats, err := eval.KernelBench(apps, *scale, *reps, *seed)
+		rows, stats, snap, err := eval.KernelBench(apps, *scale, *reps, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -116,6 +138,28 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if tel.MetricsPath != "" {
+			if err := cliutil.WriteMetricsFile(tel.MetricsPath, snap); err != nil {
+				fail(err)
+			}
+			fmt.Printf("merged metrics written to %s (inspect with vidi-top -metrics)\n", tel.MetricsPath)
+		}
+		if tel.TracePath != "" {
+			// The timed runs above stay untraced (span recording would taint
+			// the sink-overhead column); tracing gets one dedicated recording
+			// per app instead.
+			for _, app := range apps {
+				sink := telemetry.New(telemetry.WithTracing())
+				if _, err := eval.Run(eval.RunConfig{App: app, Scale: *scale, Seed: *seed, Cfg: eval.R2, Telemetry: sink}); err != nil {
+					fail(err)
+				}
+				path := perAppPath(tel.TracePath, app)
+				if err := cliutil.WriteTraceFile(path, sink); err != nil {
+					fail(err)
+				}
+				fmt.Printf("timeline written to %s (open in ui.perfetto.dev)\n", path)
+			}
 		}
 		fmt.Println()
 	}
@@ -140,5 +184,8 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := tel.StopPprof(os.Stdout); err != nil {
+		fail(err)
 	}
 }

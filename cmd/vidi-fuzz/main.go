@@ -12,21 +12,37 @@
 //	vidi-fuzz -corpus internal/fuzz/corpus    # also re-verify the regression corpus
 //	vidi-fuzz -seeds 50 -shrink               # shrink any failing seed before reporting
 //	vidi-fuzz -seeds 100 -bugs -shrink        # bug-hunting mode: inject buggy components
+//	vidi-fuzz -seeds 100 -bugs -trace-out failures.json   # Perfetto timeline per failing seed
 //
 // Exit status is non-zero when a fresh seed fails in clean mode or a corpus
 // entry stops reproducing its recorded failure. In -bugs mode failures are
 // the goal and do not affect the exit status; with -shrink and -corpus set,
 // shrunk finds are written to the corpus directory as found-<seed>.json.
+//
+// -trace-out re-runs every failing fresh seed with the span tracer armed
+// and writes a trace_event JSON timeline per seed (the seed number is
+// suffixed to the path before its extension). A deadlocked seed still gets
+// its partial timeline — that is the point: load it in ui.perfetto.dev and
+// see which track stopped making progress.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"vidi/internal/fuzz"
 )
+
+// perSeedPath inserts the seed before the path's extension:
+// failures.json + 17 → failures-17.json.
+func perSeedPath(path string, seed int64) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s-%d%s", strings.TrimSuffix(path, ext), seed, ext)
+}
 
 func main() {
 	seeds := flag.Int("seeds", 50, "number of fresh seeds to fuzz")
@@ -35,6 +51,7 @@ func main() {
 	corpusDir := flag.String("corpus", "", "regression corpus directory to verify (and extend with -shrink -bugs)")
 	shrink := flag.Bool("shrink", false, "shrink failing seeds to minimal reproducers")
 	bugs := flag.Bool("bugs", false, "inject buggy case-study components (bug-hunting mode)")
+	traceOut := flag.String("trace-out", "", "write a Perfetto timeline per failing seed (seed suffixed to the path)")
 	verbose := flag.Bool("v", false, "print every seed's verdict")
 	flag.Parse()
 
@@ -93,6 +110,24 @@ func main() {
 			bad++
 		}
 		fmt.Printf("seed %-6d FAIL %v\n", seed, out.Failure)
+		if *traceOut != "" {
+			path := perSeedPath(*traceOut, seed)
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			cycles, terr := fuzz.TraceSeed(sc, f)
+			if cerr := f.Close(); cerr != nil {
+				fail(cerr)
+			}
+			if terr != nil {
+				// Expected for run-error seeds: the partial timeline is the
+				// diagnostic artifact, the re-run's error is informational.
+				fmt.Printf("  timeline written to %s (%d cycles; traced re-run: %v)\n", path, cycles, terr)
+			} else {
+				fmt.Printf("  timeline written to %s (%d cycles)\n", path, cycles)
+			}
+		}
 		if *shrink {
 			shrunk, runs := fuzz.Shrink(sc, out.Failure.Kind, nil)
 			js, _ := shrunk.MarshalIndent()

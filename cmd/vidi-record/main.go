@@ -5,11 +5,17 @@
 // Usage:
 //
 //	vidi-record -app sha -seed 42 -out sha.vidt
+//	vidi-record -app sssp -metrics sssp.prom -trace-out sssp-trace.json
 //
 // The seed drives the environment's timing non-determinism; keep it to
 // reproduce the same workload, and pass the same seed to vidi-replay (the
 // platform's internal latency model derives from it, like deploying the
 // same bitstream).
+//
+// -metrics and -trace-out arm the unified telemetry sink across the whole
+// stack (scheduler, monitors, encoder, store, shell engines). The recorded
+// trace is byte-identical with or without them; inspect the outputs with
+// vidi-top or load the timeline in ui.perfetto.dev.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"vidi/internal/apps"
+	"vidi/internal/cliutil"
 	"vidi/internal/eval"
 )
 
@@ -30,6 +37,7 @@ func main() {
 	saf := flag.Bool("store-and-forward", false, "use the conservative store-and-forward monitor")
 	compress := flag.Bool("compress", false, "write the trace DEFLATE-compressed")
 	ifaces := flag.String("interfaces", "", "comma-separated interfaces to monitor (default: all), e.g. ocl,pcis,irq")
+	tel := cliutil.AddTelemetryFlags()
 	flag.Parse()
 
 	if *app == "" {
@@ -39,11 +47,17 @@ func main() {
 	if *out == "" {
 		*out = *app + ".vidt"
 	}
+	sink := tel.Sink()
 	rc := eval.RunConfig{
 		App: *app, Scale: *scale, Seed: *seed, Cfg: eval.R2, StoreAndForward: *saf,
+		Telemetry: sink,
 	}
 	if *ifaces != "" {
 		rc.OnlyInterfaces = strings.Split(*ifaces, ",")
+	}
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-record:", err)
+		os.Exit(1)
 	}
 	res, err := eval.Run(rc)
 	if err != nil {
@@ -65,4 +79,8 @@ func main() {
 	fmt.Printf("recorded %s: %d cycles, %d transactions, %d trace bytes → %s\n",
 		*app, res.Cycles, res.Trace.TotalTransactions(), res.Trace.SizeBytes(), *out)
 	fmt.Print(res.Trace.Summary())
+	if err := tel.Finish(sink, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-record:", err)
+		os.Exit(1)
+	}
 }

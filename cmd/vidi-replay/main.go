@@ -9,6 +9,10 @@
 // Use the same -seed and -scale as the recording (the equivalent of
 // redeploying the same bitstream). With -validate, the validation trace is
 // compared against the reference and the divergence report printed.
+//
+// -metrics and -trace-out arm the unified telemetry sink over the replay
+// (replayer gate stalls, decoder fetch stalls, per-channel injection rates);
+// inspect the outputs with vidi-top or load the timeline in ui.perfetto.dev.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"vidi/internal/apps"
+	"vidi/internal/cliutil"
 	"vidi/internal/core"
 	"vidi/internal/eval"
 	"vidi/internal/trace"
@@ -32,6 +37,7 @@ func main() {
 	valOut := flag.String("validation-out", "", "optionally save the validation trace")
 	vcd := flag.String("vcd", "", "dump the replayed FPGA-side signals to a VCD waveform file")
 	ifaces := flag.String("interfaces", "", "interface selection used at record time, e.g. ocl,pcis,irq")
+	tel := cliutil.AddTelemetryFlags()
 	flag.Parse()
 
 	if *app == "" || *tracePath == "" {
@@ -43,11 +49,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vidi-replay:", err)
 		os.Exit(1)
 	}
+	sink := tel.Sink()
 	rc := eval.RunConfig{
 		App: *app, Scale: *scale, Seed: *seed, Cfg: eval.R3, ReplayTrace: ref, VCDPath: *vcd,
+		Telemetry: sink,
 	}
 	if *ifaces != "" {
 		rc.OnlyInterfaces = strings.Split(*ifaces, ",")
+	}
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+		os.Exit(1)
 	}
 	res, err := eval.Run(rc)
 	if err != nil {
@@ -56,6 +68,10 @@ func main() {
 	}
 	fmt.Printf("replayed %s: %d cycles, %d transactions recreated\n",
 		*app, res.Cycles, res.Trace.TotalTransactions())
+	if err := tel.Finish(sink, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vidi-replay:", err)
+		os.Exit(1)
+	}
 	if *vcd != "" {
 		fmt.Println("waveforms dumped to", *vcd)
 	}

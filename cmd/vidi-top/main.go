@@ -1,0 +1,379 @@
+// vidi-top is the run inspector of the unified telemetry layer: it renders
+// sorted end-of-run tables — per-partition eval-time share, hottest
+// monitored channels, AXI engine traffic, stall/retry totals — from a
+// metrics snapshot, or runs an instrumented recording itself, or
+// validates and summarises a Perfetto timeline.
+//
+// Usage:
+//
+//	vidi-top -metrics snap.json       # inspect a snapshot (vidi-record/-bench -metrics)
+//	vidi-top -app sssp -seed 42       # run an instrumented R2 recording, then inspect it
+//	vidi-top -trace timeline.json     # validate + summarise a trace_event timeline
+//
+// Snapshots must be the JSON encoding (-metrics with a .json path); the
+// Prometheus text form is for scrape pipelines and is not read back.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"vidi/internal/apps"
+	"vidi/internal/eval"
+	"vidi/internal/telemetry"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to inspect")
+	tracePath := flag.String("trace", "", "trace_event timeline JSON to validate and summarise")
+	app := flag.String("app", "", "run one instrumented R2 recording of this app and inspect it: "+strings.Join(apps.Names(), ", "))
+	seed := flag.Int64("seed", 1, "environment timing seed (with -app)")
+	scale := flag.Int("scale", 1, "workload scale factor (with -app)")
+	topN := flag.Int("top", 8, "rows shown per table")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vidi-top:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *metricsPath != "":
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		snap, err := telemetry.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w (vidi-top reads the .json snapshot form, not Prometheus text)", *metricsPath, err))
+		}
+		render(os.Stdout, snap, *topN)
+	case *app != "":
+		sink := telemetry.New()
+		res, err := eval.Run(eval.RunConfig{App: *app, Scale: *scale, Seed: *seed, Cfg: eval.R2, Telemetry: sink})
+		if err != nil {
+			fail(err)
+		}
+		if res.CheckErr != nil {
+			fail(fmt.Errorf("%s: golden check failed: %w", *app, res.CheckErr))
+		}
+		fmt.Printf("%s: %d cycles recorded, %d transactions\n\n", *app, res.Cycles, res.Trace.TotalTransactions())
+		render(os.Stdout, sink.Gather(), *topN)
+	case *tracePath != "":
+		if err := summariseTrace(os.Stdout, *tracePath, *topN); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// row is one line of a sorted table: a display key plus named columns.
+type row struct {
+	key  string
+	cols []float64
+}
+
+// sig canonicalises a label set for cross-family series matching and
+// display: sorted k=v pairs joined by commas.
+func sig(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// values indexes one family's series by label signature (empty map when the
+// family is absent).
+func values(snap *telemetry.Snapshot, family string) map[string]float64 {
+	out := map[string]float64{}
+	f := snap.Family(family)
+	if f == nil {
+		return out
+	}
+	for _, se := range f.Series {
+		out[sig(se.Labels)] += se.Value
+	}
+	return out
+}
+
+// render writes the inspection tables.
+func render(w io.Writer, snap *telemetry.Snapshot, topN int) {
+	renderOverview(w, snap)
+	renderPartitions(w, snap, topN)
+	renderChannels(w, snap, topN)
+	renderEngines(w, snap, topN)
+	renderStalls(w, snap)
+}
+
+func renderOverview(w io.Writer, snap *telemetry.Snapshot) {
+	fmt.Fprintf(w, "== run overview ==\n")
+	fmt.Fprintf(w, "cycles %.0f  partitions %.0f  workers %.0f  modules %.0f  evals %.0f  waves %.0f\n\n",
+		snap.Total("vidi_sched_cycles"), snap.Total("vidi_sched_partitions"),
+		snap.Total("vidi_sched_workers"), snap.Total("vidi_sched_modules"),
+		snap.Total("vidi_sched_evals_total"), snap.Total("vidi_sched_waves_total"))
+}
+
+// renderPartitions is the scheduler heat table: where the eval wall-clock
+// went, partition by partition.
+func renderPartitions(w io.Writer, snap *telemetry.Snapshot, topN int) {
+	fmt.Fprintf(w, "== scheduler partitions by eval time ==\n")
+	ns := values(snap, "vidi_sched_eval_ns_total")
+	if len(ns) == 0 {
+		fmt.Fprintf(w, "(no scheduler series — legacy kernel run, or nothing gathered)\n\n")
+		return
+	}
+	evals := values(snap, "vidi_sched_evals_total")
+	skipped := values(snap, "vidi_sched_skipped_evals_total")
+	busy := values(snap, "vidi_sched_busy_cycles_total")
+	wakes := values(snap, "vidi_sched_wakeups_total")
+	var total float64
+	rows := make([]row, 0, len(ns))
+	for k, v := range ns {
+		total += v
+		rows = append(rows, row{key: k, cols: []float64{v, 0, evals[k], skipped[k], busy[k], wakes[k]}})
+	}
+	sortRows(rows)
+	fmt.Fprintf(w, "%-28s %9s %7s %10s %10s %10s %10s\n",
+		"partition", "eval ms", "share", "evals", "skipped", "busy cyc", "wakeups")
+	for i, r := range rows {
+		if i >= topN {
+			fmt.Fprintf(w, "(%d more)\n", len(rows)-topN)
+			break
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * r.cols[0] / total
+		}
+		fmt.Fprintf(w, "%-28s %9.2f %6.1f%% %10.0f %10.0f %10.0f %10.0f\n",
+			r.key, r.cols[0]/1e6, share, r.cols[2], r.cols[3], r.cols[4], r.cols[5])
+	}
+	fmt.Fprintln(w)
+}
+
+// renderChannels ranks the monitored boundary channels by observed events.
+func renderChannels(w io.Writer, snap *telemetry.Snapshot, topN int) {
+	fmt.Fprintf(w, "== hottest monitored channels ==\n")
+	observed := values(snap, "vidi_monitor_observed_events_total")
+	if len(observed) == 0 {
+		fmt.Fprintf(w, "(no monitor series — transparent run, or nothing gathered)\n\n")
+		return
+	}
+	recorded := values(snap, "vidi_monitor_recorded_events_total")
+	gapped := values(snap, "vidi_monitor_gapped_ends_total")
+	rows := make([]row, 0, len(observed))
+	for k, v := range observed {
+		rows = append(rows, row{key: k, cols: []float64{v, recorded[k], gapped[k]}})
+	}
+	sortRows(rows)
+	fmt.Fprintf(w, "%-32s %10s %10s %8s\n", "channel", "observed", "recorded", "gapped")
+	for i, r := range rows {
+		if i >= topN {
+			fmt.Fprintf(w, "(%d more)\n", len(rows)-topN)
+			break
+		}
+		fmt.Fprintf(w, "%-32s %10.0f %10.0f %8.0f\n", r.key, r.cols[0], r.cols[1], r.cols[2])
+	}
+	fmt.Fprintln(w)
+}
+
+// renderEngines ranks the environment-side AXI engines by beats moved.
+func renderEngines(w io.Writer, snap *telemetry.Snapshot, topN int) {
+	fmt.Fprintf(w, "== AXI engine traffic ==\n")
+	beats := values(snap, "vidi_axi_beats_total")
+	if len(beats) == 0 {
+		fmt.Fprintf(w, "(no engine series gathered)\n\n")
+		return
+	}
+	bursts := values(snap, "vidi_axi_bursts_total")
+	rows := make([]row, 0, len(beats))
+	for k, v := range beats {
+		rows = append(rows, row{key: k, cols: []float64{v, bursts[k]}})
+	}
+	sortRows(rows)
+	fmt.Fprintf(w, "%-32s %10s %10s\n", "engine", "beats", "bursts")
+	for i, r := range rows {
+		if i >= topN {
+			fmt.Fprintf(w, "(%d more)\n", len(rows)-topN)
+			break
+		}
+		fmt.Fprintf(w, "%-32s %10.0f %10.0f\n", r.key, r.cols[0], r.cols[1])
+	}
+	fmt.Fprintln(w)
+}
+
+// renderStalls totals everything that slowed or degraded the run.
+func renderStalls(w io.Writer, snap *telemetry.Snapshot) {
+	fmt.Fprintf(w, "== stalls, retries, degradation ==\n")
+	kv := func(label string, v float64) { fmt.Fprintf(w, "%-32s %10.0f\n", label, v) }
+	kv("encoder denials", snap.Total("vidi_encoder_denials_total"))
+	kv("encoder gaps", snap.Total("vidi_encoder_gaps_total"))
+	kv("unrecorded ends", snap.Total("vidi_encoder_unrecorded_ends_total"))
+	for _, e := range sortedKVList(values(snap, "vidi_store_retries_total")) {
+		kv("store retries {"+e.key+"}", e.val)
+	}
+	for _, e := range sortedKVList(values(snap, "vidi_store_stalls_total")) {
+		kv("store stalls {"+e.key+"}", e.val)
+	}
+	kv("replay gate stalls", snap.Total("vidi_replay_gate_stalls_total"))
+	kv("replay fetch stalls", snap.Total("vidi_replay_fetch_stalls_total"))
+	kv("shell IRQs", snap.Total("vidi_shell_irqs_total"))
+	for _, e := range sortedKVList(values(snap, "vidi_fault_injections_total")) {
+		kv("fault injections {"+e.key+"}", e.val)
+	}
+	if f := snap.Family("vidi_cpu_jitter_cycles"); f != nil {
+		var sum float64
+		var count uint64
+		for _, se := range f.Series {
+			sum += se.Sum
+			count += se.Count
+		}
+		if count > 0 {
+			fmt.Fprintf(w, "%-32s %10d (mean %.1f cycles)\n", "cpu jitter draws", count, sum/float64(count))
+		}
+	}
+}
+
+type kvEntry struct {
+	key string
+	val float64
+}
+
+// sortedKVList orders a signature-keyed value map for stable display.
+func sortedKVList(m map[string]float64) []kvEntry {
+	out := make([]kvEntry, 0, len(m))
+	for k, v := range m {
+		out = append(out, kvEntry{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// sortRows orders by the first column descending, key ascending on ties.
+func sortRows(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cols[0] != rows[j].cols[0] {
+			return rows[i].cols[0] > rows[j].cols[0]
+		}
+		return rows[i].key < rows[j].key
+	})
+}
+
+// traceEvent mirrors the Chrome trace_event fields vidi emits.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   *float64          `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// summariseTrace validates a trace_event JSON document the way Perfetto's
+// importer would reject it — unknown phases, complete events without
+// timestamps or with negative durations — and prints a per-track summary.
+func summariseTrace(w io.Writer, path string, topN int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var doc traceDoc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return fmt.Errorf("%s: not trace_event JSON: %w", path, err)
+	}
+	type trackStat struct {
+		name          string
+		spans         int
+		instants      int
+		totalDur      float64
+		firstTs, last float64
+	}
+	procs := map[int]string{}
+	threads := map[[2]int]string{}
+	stats := map[[2]int]*trackStat{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procs[ev.Pid] = ev.Args["name"]
+			case "thread_name":
+				threads[[2]int{ev.Pid, ev.Tid}] = ev.Args["name"]
+			default:
+				return fmt.Errorf("%s: event %d: unknown metadata record %q", path, i, ev.Name)
+			}
+		case "X", "i":
+			if ev.Ts == nil {
+				return fmt.Errorf("%s: event %d (%q): missing ts", path, i, ev.Name)
+			}
+			if ev.Ph == "X" && ev.Dur <= 0 {
+				return fmt.Errorf("%s: event %d (%q): complete event with dur %v", path, i, ev.Name, ev.Dur)
+			}
+			key := [2]int{ev.Pid, ev.Tid}
+			st := stats[key]
+			if st == nil {
+				st = &trackStat{firstTs: *ev.Ts}
+				stats[key] = st
+			}
+			if *ev.Ts < st.firstTs {
+				st.firstTs = *ev.Ts
+			}
+			if end := *ev.Ts + ev.Dur; end > st.last {
+				st.last = end
+			}
+			if ev.Ph == "X" {
+				st.spans++
+				st.totalDur += ev.Dur
+			} else {
+				st.instants++
+			}
+		default:
+			return fmt.Errorf("%s: event %d (%q): unsupported phase %q", path, i, ev.Name, ev.Ph)
+		}
+	}
+	list := make([]*trackStat, 0, len(stats))
+	for key, st := range stats {
+		proc, thr := procs[key[0]], threads[key]
+		if proc == "" || thr == "" {
+			return fmt.Errorf("%s: track pid=%d tid=%d has events but no name metadata", path, key[0], key[1])
+		}
+		st.name = proc + "/" + thr
+		list = append(list, st)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].totalDur != list[j].totalDur {
+			return list[i].totalDur > list[j].totalDur
+		}
+		return list[i].name < list[j].name
+	})
+	fmt.Fprintf(w, "%s: valid trace_event JSON, %d events across %d tracks\n\n",
+		path, len(doc.TraceEvents), len(list))
+	fmt.Fprintf(w, "%-32s %8s %9s %12s %12s\n", "track", "spans", "instants", "busy cycles", "span [first,last)")
+	for i, st := range list {
+		if i >= topN {
+			fmt.Fprintf(w, "(%d more)\n", len(list)-topN)
+			break
+		}
+		fmt.Fprintf(w, "%-32s %8d %9d %12.0f [%.0f,%.0f)\n",
+			st.name, st.spans, st.instants, st.totalDur, st.firstTs, st.last)
+	}
+	return nil
+}

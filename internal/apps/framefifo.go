@@ -1,0 +1,58 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+
+	"vidi/internal/bugs"
+	"vidi/internal/shell"
+)
+
+func init() {
+	register("framefifo", func(scale int) App { return newFrameFIFOApp(scale) })
+}
+
+// frameFIFOApp adapts the §5.2 Frame FIFO echo server (with the corrected,
+// back-pressuring FIFO) to the benchmark registry, so the case-study design
+// is exercisable by vidi-record/vidi-top like any evaluation app. Its
+// traffic shape is unique in the suite: bursty PCIe DMA ingress feeding an
+// on-FPGA queue with interrupt-driven completion.
+type frameFIFOApp struct {
+	echo *bugs.EchoApp
+}
+
+func newFrameFIFOApp(scale int) *frameFIFOApp {
+	return &frameFIFOApp{echo: &bugs.EchoApp{Frames: 12 * scale, FixedFIFO: true}}
+}
+
+// Name implements App.
+func (a *frameFIFOApp) Name() string { return "framefifo" }
+
+// Description implements App.
+func (a *frameFIFOApp) Description() string {
+	return "Frame FIFO echo server (§5.2 case study, corrected FIFO)"
+}
+
+// Build implements App.
+func (a *frameFIFOApp) Build(sys *shell.System) { a.echo.Build(sys) }
+
+// Program implements App.
+func (a *frameFIFOApp) Program(cpu *shell.CPU) { a.echo.Program(cpu) }
+
+// DoneFPGA implements App.
+func (a *frameFIFOApp) DoneFPGA() bool { return a.echo.Done() }
+
+// Check implements App: every sent byte must come back, and the corrected
+// FIFO must not have dropped a single fragment.
+func (a *frameFIFOApp) Check() error {
+	if loss := a.echo.Loss(); len(loss) > 0 {
+		return fmt.Errorf("framefifo: FIFO dropped %d fragments (first at index %d)", len(loss), loss[0])
+	}
+	if len(a.echo.Received) == 0 {
+		return fmt.Errorf("framefifo: no data read back")
+	}
+	if !bytes.Equal(a.echo.Received, a.echo.Sent) {
+		return fmt.Errorf("framefifo: echoed data differs from the %d bytes sent", len(a.echo.Sent))
+	}
+	return nil
+}

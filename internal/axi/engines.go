@@ -1,6 +1,9 @@
 package axi
 
-import "vidi/internal/sim"
+import (
+	"vidi/internal/sim"
+	"vidi/internal/telemetry"
+)
 
 // WriteOp is one write request issued by a WriteManager.
 type WriteOp struct {
@@ -41,6 +44,16 @@ type WriteManager struct {
 
 	// Link, if non-nil, throttles data beats to the shared link bandwidth.
 	Link *TokenBucket
+
+	// Telemetry, attached by the shell when a sink is configured. The
+	// counter shards and the track are written only from this manager's own
+	// partition; all fields are nil-safe and nil by default.
+	Bursts *telemetry.Counter // completed write bursts (B responses)
+	Beats  *telemetry.Counter // data beats transferred (W fires)
+	Track  *telemetry.Track   // one span per burst, push to response
+	Now    func() uint64      // simulation cycle, required with Track
+
+	pendStart []uint64 // per-pending-burst push cycles (Track only)
 
 	tickWake func()
 }
@@ -104,6 +117,9 @@ func (m *WriteManager) Push(op WriteOp) {
 		m.wQueue = append(m.wQueue, WPayload{Data: data, Strb: strb, Last: i == nbeats-1}.Encode(m.iface.Lite))
 	}
 	m.pending = append(m.pending, op.Done)
+	if m.Track != nil {
+		m.pendStart = append(m.pendStart, m.Now())
+	}
 	if m.tickWake != nil {
 		m.tickWake()
 	}
@@ -155,6 +171,7 @@ func (m *WriteManager) Tick() {
 	if m.wActive && m.iface.W.Fired() {
 		m.wActive = false
 		m.Touch()
+		m.Beats.Inc()
 		if m.Link != nil {
 			m.Link.Spend(m.beatSize())
 		}
@@ -175,6 +192,11 @@ func (m *WriteManager) Tick() {
 	if m.iface.B.Fired() && len(m.pending) > 0 {
 		done := m.pending[0]
 		m.pending = m.pending[1:]
+		m.Bursts.Inc()
+		if m.Track != nil && len(m.pendStart) > 0 {
+			m.Track.Span("write", m.pendStart[0], m.Now()+1)
+			m.pendStart = m.pendStart[1:]
+		}
 		if done != nil {
 			done(DecodeB(m.iface.B.Data.Get()).Resp)
 		}
@@ -210,6 +232,15 @@ type ReadManager struct {
 	// bandwidth by gating R-side readiness.
 	Link *TokenBucket
 
+	// Telemetry, attached by the shell when a sink is configured; nil-safe
+	// and nil by default (see WriteManager).
+	Bursts *telemetry.Counter // completed read bursts (last beat delivered)
+	Beats  *telemetry.Counter // data beats received (R fires)
+	Track  *telemetry.Track   // one span per burst, push to last beat
+	Now    func() uint64
+
+	pendStart []uint64
+
 	tickWake func()
 }
 
@@ -242,6 +273,9 @@ func (m *ReadManager) Push(op ReadOp) {
 	}
 	m.arQueue = append(m.arQueue, ARPayload{Addr: op.Addr, Len: uint8(beats - 1)}.Encode(m.iface.Lite))
 	m.pending = append(m.pending, &readState{done: op.Done})
+	if m.Track != nil {
+		m.pendStart = append(m.pendStart, m.Now())
+	}
 	if m.tickWake != nil {
 		m.tickWake()
 	}
@@ -319,6 +353,7 @@ func (m *ReadManager) Tick() {
 		if m.Link != nil {
 			m.Link.Spend(m.beatSize())
 		}
+		m.Beats.Inc()
 		beat := DecodeR(m.iface.R.Data.Get(), m.iface.Lite)
 		st := m.pending[0]
 		st.data = append(st.data, beat.Data...)
@@ -327,6 +362,11 @@ func (m *ReadManager) Tick() {
 		}
 		if beat.Last {
 			m.pending = m.pending[1:]
+			m.Bursts.Inc()
+			if m.Track != nil && len(m.pendStart) > 0 {
+				m.Track.Span("read", m.pendStart[0], m.Now()+1)
+				m.pendStart = m.pendStart[1:]
+			}
 			if st.done != nil {
 				st.done(st.data, st.resp)
 			}
@@ -410,6 +450,11 @@ type MemSubordinate struct {
 
 	// Base is subtracted from incoming addresses before indexing mem.
 	Base uint64
+
+	// Telemetry, attached by the shell when a sink is configured; nil-safe
+	// and nil by default (see WriteManager).
+	Bursts *telemetry.Counter // bursts served (write commits + read starts)
+	Beats  *telemetry.Counter // data beats moved (W and R fires)
 
 	awBuf []AWPayload
 	wBuf  []WPayload
@@ -523,6 +568,7 @@ func (s *MemSubordinate) Tick() {
 	}
 	if s.iface.W.Fired() {
 		s.wBuf = append(s.wBuf, DecodeW(s.iface.W.Data.Get(), s.iface.Lite))
+		s.Beats.Inc()
 		if s.Link != nil {
 			s.Link.Spend(s.beatSize())
 		}
@@ -545,6 +591,7 @@ func (s *MemSubordinate) Tick() {
 		}
 		s.awBuf = s.awBuf[1:]
 		s.wBuf = s.wBuf[need:]
+		s.Bursts.Inc()
 		if s.RespDelay != nil {
 			s.bDelay = s.RespDelay()
 		}
@@ -567,6 +614,7 @@ func (s *MemSubordinate) Tick() {
 	}
 	linkOK := s.Link == nil || s.Link.Ok()
 	if s.rActive && s.iface.R.Fired() {
+		s.Beats.Inc()
 		if s.Link != nil {
 			s.Link.Spend(s.beatSize())
 		}
@@ -587,6 +635,7 @@ func (s *MemSubordinate) Tick() {
 			s.rDelay = 0
 			ar := s.rq[0]
 			s.rq = s.rq[1:]
+			s.Bursts.Inc()
 			bs := s.beatSize()
 			beats := int(ar.Len) + 1
 			for i := 0; i < beats; i++ {

@@ -1,0 +1,69 @@
+package bugs
+
+import (
+	"bytes"
+	"testing"
+
+	"vidi/internal/core"
+	"vidi/internal/shell"
+	"vidi/internal/telemetry"
+)
+
+// recordCaseStudy records one of the case-study designs with the given sink
+// (nil = uninstrumented) and returns the trace bytes.
+func recordCaseStudy(t *testing.T, build func() caseStudyApp, seed int64, sink *telemetry.Sink) []byte {
+	t.Helper()
+	app := build()
+	sys := shell.NewSystem(shell.Config{Seed: seed, JitterMax: 4, Telemetry: sink})
+	if sink != nil {
+		sys.Sim.SetTelemetry(sink)
+	}
+	app.Build(sys)
+	sh, err := core.NewShim(sys.Sim, sys.Boundary, core.Options{
+		Mode: core.ModeRecord, ValidateOutputs: true, Telemetry: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Program(sys.CPU)
+	if _, err := sys.Sim.Run(3_000_000, func() bool { return sys.CPU.Done() && app.Done() }); err != nil {
+		t.Fatalf("case study (sink=%v): %v", sink != nil, err)
+	}
+	return sh.Trace().Bytes()
+}
+
+// caseStudyApp is the slice of the two case-study apps these tests drive.
+type caseStudyApp interface {
+	Build(sys *shell.System)
+	Program(cpu *shell.CPU)
+	Done() bool
+}
+
+// TestCaseStudyTelemetryGolden pins both case-study designs — including the
+// buggy echo server, whose lossy recording exercises the gap-counting path —
+// to byte-identical traces with and without the full metrics + tracing sink.
+func TestCaseStudyTelemetryGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		build func() caseStudyApp
+	}{
+		{"echo-buggy", 5, func() caseStudyApp { return &EchoApp{Frames: 12, DelayStart: 400} }},
+		{"pingpong", 9, func() caseStudyApp { return &PingPongApp{Pings: 6} }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref := recordCaseStudy(t, tc.build, tc.seed, nil)
+			sink := telemetry.New(telemetry.WithTracing())
+			got := recordCaseStudy(t, tc.build, tc.seed, sink)
+			if !bytes.Equal(ref, got) {
+				t.Errorf("traces differ with telemetry armed: bare %d bytes, instrumented %d bytes",
+					len(ref), len(got))
+			}
+			if snap := sink.Gather(); snap.Total("vidi_monitor_observed_events_total") == 0 {
+				t.Error("armed sink observed no monitor events")
+			}
+		})
+	}
+}

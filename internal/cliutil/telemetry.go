@@ -1,0 +1,139 @@
+// Package cliutil holds the flag plumbing shared by the vidi command-line
+// tools: the -metrics / -trace-out / -pprof trio that arms the unified
+// telemetry sink around a run and writes its artifacts on exit.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vidi/internal/telemetry"
+)
+
+// Telemetry carries the observability flag values of one CLI invocation.
+type Telemetry struct {
+	// MetricsPath receives the end-of-run metrics dump. A .json extension
+	// selects the snapshot JSON (the vidi-top input format); anything else
+	// gets the Prometheus text exposition.
+	MetricsPath string
+	// TracePath receives the Chrome trace_event JSON timeline, loadable in
+	// Perfetto (ui.perfetto.dev) or chrome://tracing.
+	TracePath string
+	// PprofPrefix enables Go CPU+heap profiling around the run.
+	PprofPrefix string
+
+	stopPprof func() error
+}
+
+// AddTelemetryFlags registers the shared observability flags on the default
+// flag set.
+func AddTelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.StringVar(&t.MetricsPath, "metrics", "",
+		"write an end-of-run metrics dump (.json → snapshot JSON for vidi-top, else Prometheus text)")
+	flag.StringVar(&t.TracePath, "trace-out", "",
+		"write a Perfetto-loadable trace_event JSON timeline of the run")
+	flag.StringVar(&t.PprofPrefix, "pprof", "",
+		"write Go CPU/heap profiles with this path prefix")
+	return t
+}
+
+// Sink builds the run's telemetry sink: nil when neither -metrics nor
+// -trace-out was given (the zero-cost default), with the span tracer armed
+// only when a trace output is wanted.
+func (t *Telemetry) Sink() *telemetry.Sink {
+	if t.MetricsPath == "" && t.TracePath == "" {
+		return nil
+	}
+	var opts []telemetry.Option
+	if t.TracePath != "" {
+		opts = append(opts, telemetry.WithTracing())
+	}
+	return telemetry.New(opts...)
+}
+
+// Start begins CPU profiling when -pprof was given. Finish stops it.
+func (t *Telemetry) Start() error {
+	if t.PprofPrefix == "" {
+		return nil
+	}
+	stop, err := telemetry.StartPprof(t.PprofPrefix)
+	if err != nil {
+		return err
+	}
+	t.stopPprof = stop
+	return nil
+}
+
+// StopPprof ends profiling and writes the heap profile; a no-op when -pprof
+// was not given (or Start was never called).
+func (t *Telemetry) StopPprof(w *os.File) error {
+	if t.stopPprof == nil {
+		return nil
+	}
+	stop := t.stopPprof
+	t.stopPprof = nil
+	if err := stop(); err != nil {
+		return fmt.Errorf("stopping pprof: %w", err)
+	}
+	fmt.Fprintf(w, "profiles written to %s.cpu.pprof and %s.mem.pprof\n", t.PprofPrefix, t.PprofPrefix)
+	return nil
+}
+
+// Finish stops profiling and writes the requested artifacts from sink (the
+// value Sink returned; nil is fine when nothing was requested). Each written
+// path is reported on w.
+func (t *Telemetry) Finish(sink *telemetry.Sink, w *os.File) error {
+	if err := t.StopPprof(w); err != nil {
+		return err
+	}
+	if t.MetricsPath != "" {
+		if err := WriteMetricsFile(t.MetricsPath, sink.Gather()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", t.MetricsPath)
+	}
+	if t.TracePath != "" {
+		if err := WriteTraceFile(t.TracePath, sink); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "timeline written to %s (open in ui.perfetto.dev)\n", t.TracePath)
+	}
+	return nil
+}
+
+// WriteMetricsFile writes a snapshot to path, choosing the encoding by
+// extension: .json → indented snapshot JSON, anything else → Prometheus
+// text exposition.
+func WriteMetricsFile(path string, snap *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTraceFile writes sink's span timeline as trace_event JSON to path. A
+// nil or trace-less sink yields an empty but valid document.
+func WriteTraceFile(path string, sink *telemetry.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = sink.WriteTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -46,6 +47,21 @@ type Monitor struct {
 	// them, so the trace position matches what the FPGA program saw.
 	storeAndForward bool
 	reserved        bool
+
+	// Telemetry (attached by Shim.bindTelemetry; all zero without a sink).
+	// observed counts receiver-side handshake events (starts and ends),
+	// recorded counts events actually logged to the encoder, gapped counts
+	// output ends whose contents were shed in lossy mode. Plain fields,
+	// folded into the sink on scrape.
+	observed uint64
+	recorded uint64
+	gapped   uint64
+	// now reads the simulation cycle (safe during Tick: the cycle counter
+	// advances after the tick phase); track is the channel's Perfetto lane
+	// carrying one span per transaction.
+	now      func() uint64
+	track    *telemetry.Track
+	txnStart uint64
 }
 
 // newMonitor creates a monitor for boundary channel index ci. enc may be nil
@@ -132,10 +148,25 @@ func (m *Monitor) TickStable() bool { return m.enc == nil || !m.storeAndForward 
 
 // Tick implements sim.Module.
 func (m *Monitor) Tick() {
+	from, to := m.sides()
+	// Telemetry observation point: receiver-side handshake events. Counting
+	// and span recording only read latched channel state, so behaviour is
+	// identical with or without a sink.
+	if to.StartedNow() {
+		m.observed++
+		if m.now != nil {
+			m.txnStart = m.now()
+		}
+	}
+	if to.Fired() {
+		m.observed++
+		if m.track != nil {
+			m.track.Span(m.bc.Info.Name, m.txnStart, m.now()+1)
+		}
+	}
 	if m.enc == nil {
 		return
 	}
-	from, to := m.sides()
 	if m.storeAndForward && !m.forwarding && !m.reserved && from.Valid.Get() && m.enc.CanAccept(m.ci) {
 		// Store-and-forward: secure the encoder space now, begin
 		// forwarding next cycle.
@@ -154,12 +185,17 @@ func (m *Monitor) Tick() {
 	if to.Fired() {
 		var content []byte
 		if m.bc.Info.Dir == trace.Output && m.enc.meta.ValidateOutputs {
+			if m.enc.lossy {
+				// The end bit is still recorded; only its content is shed.
+				m.gapped++
+			}
 			// The monitor forwards cut-through: to fires in exactly the
 			// cycles from fires, so from's bus is live under to.Fired().
 			//lint:handshake cut-through forwarding makes to.Fired() equivalent to from.Fired()
 			content = from.Data.Snapshot()
 		}
 		m.enc.LogEnd(m.ci, content)
+		m.recorded++
 		m.forwarding = false
 		m.reserved = false
 		m.Touch()
@@ -171,6 +207,7 @@ func (m *Monitor) Tick() {
 func (m *Monitor) logEventStart(from *sim.Channel) {
 	if m.bc.Info.Dir == trace.Input {
 		m.enc.LogStart(m.ci, from.Data.Snapshot())
+		m.recorded++
 	}
 	m.enc.ReserveEnd(m.ci)
 }

@@ -57,6 +57,10 @@ type Decoder struct {
 	released int // packets whose bytes have been fetched
 	fetched  int // bytes fetched so far
 	offset   int // serialized offset of the next packet
+
+	// fetchStalls counts Ticks that exhausted the fetch bandwidth with
+	// packets still pending. Folded into the telemetry sink on scrape.
+	fetchStalls uint64
 }
 
 // NewDecoder creates a decoder over tr fetching through store.
@@ -77,6 +81,7 @@ func (d *Decoder) Tick() {
 			got := d.store.Accept(need)
 			d.fetched += got
 			if got < need {
+				d.fetchStalls++
 				return // fetch bandwidth exhausted this cycle
 			}
 		}
@@ -143,6 +148,11 @@ type Replayer struct {
 	// input transaction before the replayer processes the corresponding End
 	// item; the counter absorbs that skew.
 	firedPending int
+
+	// gateStalls counts process() passes parked on the happens-before
+	// precondition (T_current < T_expected) — the replay-side analogue of
+	// recording back-pressure. Folded into the telemetry sink on scrape.
+	gateStalls uint64
 }
 
 // NewReplayer creates the replayer for boundary channel index ci.
@@ -204,6 +214,7 @@ func (r *Replayer) process() {
 	for r.idx < r.dec.released {
 		item := r.dec.ownPacket(r.dec.tr.Packets[r.idx], r.ci)
 		if (item.Start || item.End) && !r.coord.Current().Geq(r.texp) {
+			r.gateStalls++
 			return // happens-before precondition not yet satisfied
 		}
 		if item.Start && !r.startIssued {

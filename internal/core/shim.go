@@ -5,6 +5,7 @@ import (
 
 	"vidi/internal/axi"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -85,6 +86,11 @@ type Options struct {
 	// backoff; a fault persisting past the retry budget aborts the run with
 	// a StoreFaultError.
 	StoreFaultFn func(cycle uint64) bool
+	// Telemetry, when non-nil, receives the shim's metrics and transaction
+	// spans. Counters stay on plain component fields and are folded into the
+	// sink only at scrape time, so recording and replay behaviour is
+	// byte-identical with or without a sink.
+	Telemetry *telemetry.Sink
 }
 
 // interfaceEnabled reports whether a channel's interface is selected.
@@ -246,6 +252,9 @@ func NewShim(s *sim.Simulator, b *Boundary, opts Options) (*Shim, error) {
 			tied = append(tied, opts.Link)
 		}
 		s.Tie(tied...)
+	}
+	if opts.Telemetry != nil {
+		sh.bindTelemetry(s, opts.Telemetry)
 	}
 	return sh, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"vidi/internal/core"
 	"vidi/internal/fault"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -23,6 +24,11 @@ type FaultRow struct {
 	// workflow and no mechanism — typed error, divergence report, golden
 	// check, unrecorded count — surfaced it.
 	Silent bool
+	// Telemetry is the faulted recording run's metrics snapshot, attached
+	// whenever the scenario failed (Silent) so the failure report carries
+	// the gap/retry/injection counts alongside the verdict. Nil on healthy
+	// rows and for the offline transport classes.
+	Telemetry *telemetry.Snapshot
 }
 
 // DefaultFaultApps is the fault-matrix application list: the interrupt
@@ -103,10 +109,12 @@ func faultCell(app string, class fault.Class, scale int, seedBase int64) (FaultR
 	}
 
 	// Online classes: record under fault, then replay the result cleanly
-	// and compare.
+	// and compare. The run is instrumented so a failing scenario can dump
+	// what the fault actually did (gaps, retries, injections by kind).
+	sink := telemetry.New()
 	rc := RunConfig{
 		App: app, Scale: scale, Seed: seedBase, Cfg: R2,
-		FaultPlan: plan,
+		FaultPlan: plan, Telemetry: sink,
 	}
 	if class == fault.LinkBrownout {
 		// The brownout starves the store; degraded recording plus a small
@@ -130,12 +138,14 @@ func faultCell(app string, class fault.Class, scale int, seedBase int64) (FaultR
 		row.Outcome = "SILENT"
 		row.Detail = fmt.Sprintf("golden check failed without a reported fault: %v", rec.CheckErr)
 		row.Silent = true
+		failTelemetry(&row, sink)
 		return row, nil
 	}
 	if err := rec.Trace.Validate(); err != nil {
 		row.Outcome = "SILENT"
 		row.Detail = fmt.Sprintf("recorded trace failed validation: %v", err)
 		row.Silent = true
+		failTelemetry(&row, sink)
 		return row, nil
 	}
 	rep, err := Run(RunConfig{App: app, Scale: scale, Seed: seedBase, Cfg: R3, ReplayTrace: rec.Trace})
@@ -150,6 +160,7 @@ func faultCell(app string, class fault.Class, scale int, seedBase int64) (FaultR
 		row.Outcome = "SILENT"
 		row.Detail = fmt.Sprintf("fault leaked into replay: %d divergence(s)", len(report.Divergences))
 		row.Silent = true
+		failTelemetry(&row, sink)
 		return row, nil
 	}
 
@@ -174,6 +185,33 @@ func faultCell(app string, class fault.Class, scale int, seedBase int64) (FaultR
 
 // mustBytes serializes a trace, panicking on the (impossible) encode error.
 func mustBytes(t *trace.Trace) []byte { return t.Bytes() }
+
+// failTelemetry attaches the instrumented run's snapshot to a failing row
+// and appends the failure-relevant counters to its detail, so the matrix
+// report shows what the fault actually did to the transport.
+func failTelemetry(row *FaultRow, sink *telemetry.Sink) {
+	snap := sink.Gather()
+	row.Telemetry = snap
+	row.Detail += "; telemetry: " + TelemetrySummary(snap)
+}
+
+// TelemetrySummary compacts a snapshot's fault-relevant counters — lossy
+// gaps, shed contents, store retries and stalls, and injections by kind —
+// into one report line.
+func TelemetrySummary(snap *telemetry.Snapshot) string {
+	parts := []string{
+		fmt.Sprintf("gaps=%.0f", snap.Total("vidi_encoder_gaps_total")),
+		fmt.Sprintf("unrecorded=%.0f", snap.Total("vidi_encoder_unrecorded_ends_total")),
+		fmt.Sprintf("retries=%.0f", snap.Total("vidi_store_retries_total")),
+		fmt.Sprintf("stalls=%.0f", snap.Total("vidi_store_stalls_total")),
+	}
+	if f := snap.Family("vidi_fault_injections_total"); f != nil {
+		for _, se := range f.Series { // already deterministically ordered
+			parts = append(parts, fmt.Sprintf("injections{%s}=%.0f", se.Label("kind"), se.Value))
+		}
+	}
+	return strings.Join(parts, " ")
+}
 
 // FormatFaultMatrix renders the matrix with a silent-divergence tally — the
 // number that must be zero for the resilient transport to be trusted.

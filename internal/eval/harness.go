@@ -14,6 +14,7 @@ import (
 	"vidi/internal/fault"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -80,6 +81,12 @@ type RunConfig struct {
 	// (sim.Simulator.SetSensitivityCheck): every Eval is audited against its
 	// module's declared Reads/Drives and a mismatch fails the run.
 	SensitivityCheck bool
+	// Telemetry, when non-nil, arms the unified metrics/tracing sink across
+	// the whole stack: scheduler, record/replay core, shell engines and
+	// fault injectors. Observational only — recorded traces are
+	// byte-identical with or without a sink (enforced by the telemetry
+	// golden tests).
+	Telemetry *telemetry.Sink
 }
 
 // RunResult is the outcome of one experiment run.
@@ -135,9 +142,13 @@ func Build(rc RunConfig) (*Built, error) {
 		Replay:    replay,
 		Seed:      rc.Seed,
 		JitterMax: jitter,
+		Telemetry: rc.Telemetry,
 	})
 	sys.Sim.SetLegacy(rc.LegacyKernel)
 	sys.Sim.SetSensitivityCheck(rc.SensitivityCheck)
+	if rc.Telemetry != nil {
+		sys.Sim.SetTelemetry(rc.Telemetry)
+	}
 	if rc.Workers > 0 {
 		sys.Sim.SetWorkers(rc.Workers)
 	}
@@ -155,6 +166,7 @@ func Build(rc RunConfig) (*Built, error) {
 		OnlyInterfaces:     rc.OnlyInterfaces,
 		DegradedRecording:  rc.DegradedRecording,
 		StallBudgetCycles:  rc.StallBudgetCycles,
+		Telemetry:          rc.Telemetry,
 	}
 	if !rc.DisableShare {
 		opts.Link = sys.PCIe

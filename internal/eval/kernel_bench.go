@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 )
 
 // KernelBenchRow compares one application's R2 recording throughput under
@@ -22,6 +23,13 @@ type KernelBenchRow struct {
 	LegacyCPS float64 `json:"legacy_cycles_per_sec"`
 	SchedCPS  float64 `json:"sched_cycles_per_sec"`
 	Speedup   float64 `json:"speedup"`
+
+	// The scheduler run repeated with an armed metrics sink, and the
+	// relative throughput cost of instrumentation ((sched-sink)/sched; the
+	// acceptance budget is 2%).
+	SinkSec      float64 `json:"sink_sec"`
+	SinkCPS      float64 `json:"sink_cycles_per_sec"`
+	SinkDeltaPct float64 `json:"sink_delta_pct"`
 
 	LegacyEvals  uint64 `json:"legacy_eval_calls"`
 	SchedEvals   uint64 `json:"sched_eval_calls"`
@@ -39,21 +47,26 @@ type KernelStats struct {
 }
 
 // KernelBench measures each application's R2 recording wall-clock under
-// both kernels and reports cycles/second and the speedup. reps repeats
-// each timed run and keeps the fastest (classic best-of-N to shed
-// scheduler/GC noise); the kernels must agree on the cycle count or the
-// row errors out — throughput comparisons between diverging executions
-// would be meaningless.
-func KernelBench(appNames []string, scale, reps int, seed int64) ([]KernelBenchRow, map[string]KernelStats, error) {
+// both kernels and reports cycles/second and the speedup, plus a third
+// scheduler run with an armed metrics sink that prices the instrumentation
+// overhead. reps repeats each timed run and keeps the fastest (classic
+// best-of-N to shed scheduler/GC noise); the kernels must agree on the
+// cycle count or the row errors out — throughput comparisons between
+// diverging executions would be meaningless.
+//
+// The returned snapshot merges every instrumented run's metrics, each
+// app's series carrying an app=<name> const label — the artifact vidi-top
+// and the CI bench job consume.
+func KernelBench(appNames []string, scale, reps int, seed int64) ([]KernelBenchRow, map[string]KernelStats, *telemetry.Snapshot, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	timed := func(app string, legacy bool) (time.Duration, *RunResult, error) {
+	timed := func(app string, legacy bool, sink *telemetry.Sink) (time.Duration, *RunResult, error) {
 		best := time.Duration(0)
 		var res *RunResult
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			out, err := Run(RunConfig{App: app, Scale: scale, Seed: seed, Cfg: R2, LegacyKernel: legacy})
+			out, err := Run(RunConfig{App: app, Scale: scale, Seed: seed, Cfg: R2, LegacyKernel: legacy, Telemetry: sink})
 			el := time.Since(start)
 			if err != nil {
 				return 0, nil, err
@@ -69,26 +82,51 @@ func KernelBench(appNames []string, scale, reps int, seed int64) ([]KernelBenchR
 	}
 	rows := make([]KernelBenchRow, 0, len(appNames))
 	stats := make(map[string]KernelStats, len(appNames))
+	var snaps []*telemetry.Snapshot
 	for _, app := range appNames {
-		legDur, leg, err := timed(app, true)
+		legDur, leg, err := timed(app, true, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("kernel bench %s legacy: %w", app, err)
+			return nil, nil, nil, fmt.Errorf("kernel bench %s legacy: %w", app, err)
 		}
-		schDur, sch, err := timed(app, false)
+		schDur, sch, err := timed(app, false, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("kernel bench %s scheduler: %w", app, err)
+			return nil, nil, nil, fmt.Errorf("kernel bench %s scheduler: %w", app, err)
 		}
-		if leg.Cycles != sch.Cycles {
-			return nil, nil, fmt.Errorf("kernel bench %s: kernels diverge (legacy %d cycles, scheduler %d)",
-				app, leg.Cycles, sch.Cycles)
+		// The instrumented run arms a fresh metrics sink per repetition so
+		// each gathers one run's worth of counts; the last rep's snapshot is
+		// kept (the run is deterministic, so they are all identical).
+		var sink *telemetry.Sink
+		sinkDur := time.Duration(0)
+		var snk *RunResult
+		for r := 0; r < reps; r++ {
+			s := telemetry.New(telemetry.WithConstLabels(telemetry.L("app", app)))
+			start := time.Now()
+			out, err := Run(RunConfig{App: app, Scale: scale, Seed: seed, Cfg: R2, Telemetry: s})
+			el := time.Since(start)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("kernel bench %s instrumented: %w", app, err)
+			}
+			if out.CheckErr != nil {
+				return nil, nil, nil, fmt.Errorf("kernel bench %s instrumented: golden check: %w", app, out.CheckErr)
+			}
+			if snk == nil || el < sinkDur {
+				sinkDur, snk, sink = el, out, s
+			}
 		}
+		if leg.Cycles != sch.Cycles || sch.Cycles != snk.Cycles {
+			return nil, nil, nil, fmt.Errorf("kernel bench %s: kernels diverge (legacy %d cycles, scheduler %d, instrumented %d)",
+				app, leg.Cycles, sch.Cycles, snk.Cycles)
+		}
+		snaps = append(snaps, sink.Gather())
 		row := KernelBenchRow{
 			App:       app,
 			Cycles:    leg.Cycles,
 			LegacySec: legDur.Seconds(),
 			SchedSec:  schDur.Seconds(),
+			SinkSec:   sinkDur.Seconds(),
 			LegacyCPS: float64(leg.Cycles) / legDur.Seconds(),
 			SchedCPS:  float64(sch.Cycles) / schDur.Seconds(),
+			SinkCPS:   float64(snk.Cycles) / sinkDur.Seconds(),
 
 			LegacyEvals:  leg.Stats.EvalCalls,
 			SchedEvals:   sch.Stats.EvalCalls,
@@ -98,20 +136,25 @@ func KernelBench(appNames []string, scale, reps int, seed int64) ([]KernelBenchR
 			Workers:      sch.Stats.Workers,
 		}
 		row.Speedup = row.SchedCPS / row.LegacyCPS
+		row.SinkDeltaPct = 100 * (row.SchedCPS - row.SinkCPS) / row.SchedCPS
 		rows = append(rows, row)
 		stats[app] = KernelStats{Legacy: leg.Stats, Sched: sch.Stats}
 	}
-	return rows, stats, nil
+	merged, err := telemetry.MergeSnapshots(snaps...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("kernel bench: merging snapshots: %w", err)
+	}
+	return rows, stats, merged, nil
 }
 
 // FormatKernelBench renders the kernel throughput table.
 func FormatKernelBench(rows []KernelBenchRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-9s %10s %14s %14s %8s %12s %12s %6s\n",
-		"App", "cycles", "legacy cyc/s", "sched cyc/s", "speedup", "legacy evals", "sched evals", "parts")
+	fmt.Fprintf(&b, "%-9s %10s %14s %14s %8s %8s %12s %12s %6s\n",
+		"App", "cycles", "legacy cyc/s", "sched cyc/s", "speedup", "sink Δ%", "legacy evals", "sched evals", "parts")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-9s %10d %14.0f %14.0f %7.2fx %12d %12d %6d\n",
-			r.App, r.Cycles, r.LegacyCPS, r.SchedCPS, r.Speedup, r.LegacyEvals, r.SchedEvals, r.Partitions)
+		fmt.Fprintf(&b, "%-9s %10d %14.0f %14.0f %7.2fx %7.2f%% %12d %12d %6d\n",
+			r.App, r.Cycles, r.LegacyCPS, r.SchedCPS, r.Speedup, r.SinkDeltaPct, r.LegacyEvals, r.SchedEvals, r.Partitions)
 	}
 	return b.String()
 }

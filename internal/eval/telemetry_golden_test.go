@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vidi/internal/apps"
+	"vidi/internal/telemetry"
+)
+
+// telemetryRun executes one R2 recording of app with the given sink (nil =
+// uninstrumented), dumping the boundary VCD, and returns the trace bytes,
+// the VCD bytes and the cycle count.
+func telemetryRun(t *testing.T, app string, sink *telemetry.Sink) (traceBytes, vcdBytes []byte, cycles uint64) {
+	t.Helper()
+	vcd := filepath.Join(t.TempDir(), "dump.vcd")
+	res, err := Run(RunConfig{
+		App: app, Scale: 1, Seed: 7, Cfg: R2,
+		VCDPath: vcd, Telemetry: sink,
+	})
+	if err != nil {
+		t.Fatalf("%s (sink=%v): %v", app, sink != nil, err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("%s (sink=%v): golden check: %v", app, sink != nil, res.CheckErr)
+	}
+	dump, err := os.ReadFile(vcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Bytes(), dump, res.Cycles
+}
+
+// TestKernelGoldenTelemetry is the observability contract: arming the full
+// metrics + tracing sink must not change a single recorded byte. For every
+// registered application an R2 recording with an armed sink must be
+// byte-identical — trace and VCD waveform — to the uninstrumented
+// recording, at the same cycle count; and the sink must actually have
+// gathered something, or the instrumentation silently fell off.
+func TestKernelGoldenTelemetry(t *testing.T) {
+	for _, app := range apps.Names() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			refTrace, refVCD, refCycles := telemetryRun(t, app, nil)
+			sink := telemetry.New(telemetry.WithTracing())
+			gotTrace, gotVCD, gotCycles := telemetryRun(t, app, sink)
+			if gotCycles != refCycles {
+				t.Errorf("cycles: instrumented %d, bare %d", gotCycles, refCycles)
+			}
+			if !bytes.Equal(gotTrace, refTrace) {
+				t.Errorf("trace bytes differ with telemetry armed (instrumented %d bytes, bare %d bytes)",
+					len(gotTrace), len(refTrace))
+			}
+			if !bytes.Equal(gotVCD, refVCD) {
+				t.Errorf("VCD dumps differ with telemetry armed (instrumented %d bytes, bare %d bytes)",
+					len(gotVCD), len(refVCD))
+			}
+			snap := sink.Gather()
+			if snap.Total("vidi_monitor_observed_events_total") == 0 {
+				t.Error("armed sink observed no monitor events")
+			}
+			if snap.Total("vidi_sched_evals_total") == 0 {
+				t.Error("armed sink folded no scheduler counters")
+			}
+			var buf bytes.Buffer
+			if err := sink.WriteTrace(&buf); err != nil {
+				t.Fatalf("writing timeline: %v", err)
+			}
+			if !bytes.Contains(buf.Bytes(), []byte(`"ph":"X"`)) {
+				t.Error("timeline contains no complete spans")
+			}
+		})
+	}
+}
+
+// TestKernelGoldenTelemetryReplay extends the contract through replay: the
+// validation trace an instrumented R3 replay records must be byte-identical
+// to the uninstrumented replay's.
+func TestKernelGoldenTelemetryReplay(t *testing.T) {
+	rec, err := Run(RunConfig{App: "dma-irq", Scale: 1, Seed: 7, Cfg: R2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var val [][]byte
+	sinks := []*telemetry.Sink{nil, telemetry.New(telemetry.WithTracing())}
+	for _, sink := range sinks {
+		rep, err := Run(RunConfig{
+			App: "dma-irq", Scale: 1, Seed: 7, Cfg: R3,
+			ReplayTrace: rec.Trace, Telemetry: sink,
+		})
+		if err != nil {
+			t.Fatalf("replay (sink=%v): %v", sink != nil, err)
+		}
+		val = append(val, rep.Trace.Bytes())
+	}
+	if !bytes.Equal(val[0], val[1]) {
+		t.Fatal("R3 validation traces differ with telemetry armed")
+	}
+}

@@ -15,12 +15,14 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"vidi/internal/axi"
 	"vidi/internal/core"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -213,13 +215,21 @@ type starver struct {
 	k      *clock
 	spec   *Spec
 	bucket *axi.TokenBucket
+
+	inj       *telemetry.Counter // one injection per window entry
+	wasActive bool
 }
 
 func (s *starver) Name() string { return fmt.Sprintf("fault-%s", s.spec.Class) }
 func (s *starver) Tick() {
-	if s.spec.active(s.k.cycle) {
+	active := s.spec.active(s.k.cycle)
+	if active {
+		if !s.wasActive {
+			s.inj.Inc()
+		}
 		s.bucket.Spend(int(s.spec.Severity * s.bucket.BytesPerCy))
 	}
+	s.wasActive = active
 }
 
 // Arm installs the plan's injectors into a built system. sh may be nil when
@@ -232,6 +242,16 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 	}
 	k := &clock{}
 	armed := false
+	// Injection counters by kind, keyed to the plan seed. The shell's sink
+	// may be nil, in which case every counter is a nil no-op. Each counter is
+	// incremented only from the faulted component's own partition.
+	sink := sys.Cfg.Telemetry
+	injections := func(c Class) *telemetry.Counter {
+		return sink.Counter("vidi_fault_injections_total",
+			"Fault injector activations by kind, keyed to the plan seed.",
+			telemetry.L("kind", c.String()),
+			telemetry.L("seed", strconv.FormatInt(p.Seed, 10)))
+	}
 	// Injectors read the shared clock and mutate state owned by other
 	// modules' partitions; collect the tie groups and apply them once the
 	// clock is registered.
@@ -240,25 +260,42 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 		s := &p.Specs[i]
 		switch s.Class {
 		case LinkBrownout:
-			sv := &starver{k: k, spec: s, bucket: sys.PCIe}
+			sv := &starver{k: k, spec: s, bucket: sys.PCIe, inj: injections(s.Class)}
 			sys.Sim.Register(sv)
 			ties = append(ties, []sim.Module{k, sv, sys.PCIe})
 			armed = true
 		case LinkOutage:
 			if sh != nil && sh.Store() != nil {
 				spec := s
-				sh.Store().FaultFn = func(cycle uint64) bool { return !spec.active(cycle) }
+				inj := injections(s.Class)
+				sh.Store().FaultFn = func(cycle uint64) bool {
+					ok := !spec.active(cycle)
+					if !ok {
+						inj.Inc()
+					}
+					return ok
+				}
 				armed = true
 			}
 		case CPUStall:
 			if sys.CPU != nil {
 				spec := s
-				sys.CPU.StallFn = func() bool { return spec.active(k.cycle) }
+				inj := injections(s.Class)
+				wasActive := false
+				sys.CPU.StallFn = func() bool {
+					active := spec.active(k.cycle)
+					if active && !wasActive {
+						inj.Inc()
+					}
+					wasActive = active
+					return active
+				}
 				ties = append(ties, []sim.Module{k, sys.CPU})
 				armed = true
 			}
 		case DMAHiccup:
 			spec := s
+			inj := injections(s.Class)
 			orig := sys.DDRSub.RespDelay
 			extra := 1 + int(spec.Severity*24)
 			sys.DDRSub.RespDelay = func() int {
@@ -267,6 +304,7 @@ func Arm(p *Plan, sys *shell.System, sh *core.Shim) {
 					d = orig()
 				}
 				if spec.active(k.cycle) {
+					inj.Inc()
 					d += extra
 				}
 				return d

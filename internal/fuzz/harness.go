@@ -3,11 +3,13 @@ package fuzz
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"vidi/internal/core"
 	"vidi/internal/fault"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -69,6 +71,7 @@ type runOpts struct {
 	record   bool         // attach a recording (validation) monitor
 	faults   bool         // arm the scenario's fault plan
 	vcd      bool         // capture a VCD dump of the boundary channels
+	tel      *telemetry.Sink
 	watchdog uint64
 	budget   uint64
 }
@@ -91,8 +94,12 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 		Replay:    replaying,
 		Seed:      sc.Seed,
 		JitterMax: sc.JitterMax,
+		Telemetry: o.tel,
 	})
 	sys.Sim.SetLegacy(o.legacy)
+	if o.tel != nil {
+		sys.Sim.SetTelemetry(o.tel)
+	}
 	// The conformance fuzzer doubles as the dynamic sensitivity auditor:
 	// scheduler-side runs execute with declaration checking armed, so a
 	// generated module touching a signal outside its declared Sensitivity
@@ -108,6 +115,7 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 		BufBytes:          sc.BufBytes,
 		DegradedRecording: sc.Degraded,
 		Link:              sys.PCIe,
+		Telemetry:         o.tel,
 	}
 	if replaying {
 		opts.Mode = core.ModeReplay
@@ -238,6 +246,21 @@ func RunSeed(sc *Scenario) *Outcome {
 		// No pcim write transaction to reorder (fully lossy run): skip.
 	}
 	return out
+}
+
+// TraceSeed re-runs sc's recording (scheduler kernel, faults armed) with the
+// span tracer on and writes the Perfetto timeline to w, making a failing
+// seed inspectable cycle by cycle. The timeline is written even when the run
+// errors — a deadlocked seed's partial timeline shows where progress
+// stopped. Returns the run's cycle count and its error, after any write
+// error.
+func TraceSeed(sc *Scenario, w io.Writer) (uint64, error) {
+	sink := telemetry.New(telemetry.WithTracing())
+	res := runScenario(sc, runOpts{record: true, faults: true, watchdog: recordWatchdog, tel: sink})
+	if err := sink.WriteTrace(w); err != nil {
+		return res.cycles, err
+	}
+	return res.cycles, res.err
 }
 
 // mustCopy deep-copies a trace through its codec; the codec round-trips its

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -31,39 +32,12 @@ type ChannelStats struct {
 	InterEnd Histogram
 }
 
-// Histogram is a small summary of a sample set.
-type Histogram struct {
-	Count      int
-	Min, Max   int
-	Mean       float64
-	P50, P95   int
-	samplesSum int
-}
+// Histogram is the shared nearest-rank sample summary (ceil-rank
+// percentiles), so trace profiling and live telemetry agree on
+// definitions.
+type Histogram = telemetry.Summary
 
-func histogram(samples []int) Histogram {
-	if len(samples) == 0 {
-		return Histogram{}
-	}
-	s := append([]int(nil), samples...)
-	sort.Ints(s)
-	sum := 0
-	for _, v := range s {
-		sum += v
-	}
-	return Histogram{
-		Count: len(s), Min: s[0], Max: s[len(s)-1],
-		Mean: float64(sum) / float64(len(s)),
-		P50:  s[len(s)/2], P95: s[len(s)*95/100],
-	}
-}
-
-// String implements fmt.Stringer.
-func (h Histogram) String() string {
-	if h.Count == 0 {
-		return "n=0"
-	}
-	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d max=%d mean=%.1f", h.Count, h.Min, h.P50, h.P95, h.Max, h.Mean)
-}
+func histogram(samples []int) Histogram { return telemetry.Summarize(samples) }
 
 // Profile is the result of analyzing one trace.
 type Profile struct {

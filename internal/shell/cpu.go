@@ -8,6 +8,7 @@ import (
 
 	"vidi/internal/axi"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 )
 
 // Bus names an MMIO bus of the F1 shell.
@@ -54,6 +55,10 @@ type CPU struct {
 	// host-side scheduling stalls (the OS preempting the agent process) —
 	// in-flight AXI traffic keeps draining, but no new work is issued.
 	StallFn func() bool
+
+	// Telemetry (attached by System.bindTelemetry; nil without a sink).
+	tel        *telemetry.Sink
+	jitterHist *telemetry.Histogram
 
 	irqConsumed int
 	tickWake    func()
@@ -105,6 +110,11 @@ type Thread struct {
 	// irqWait parks the thread on WaitIRQ: it stays busy while the CPU's
 	// Tick polls the interrupt counter on its behalf.
 	irqWait bool
+
+	// track, with tracing armed, carries one span per operation from issue
+	// to completion; opStart is the issue cycle of the in-flight op.
+	track   *telemetry.Track
+	opStart uint64
 }
 
 type op func(t *Thread) // issues the operation; completion clears t.busy
@@ -116,6 +126,9 @@ type op func(t *Thread) // issues the operation; completion clears t.busy
 func (c *CPU) NewThread(name string) *Thread {
 	label := fmt.Sprintf("cpu.thread.%d.%s", len(c.threads), name)
 	t := &Thread{cpu: c, name: name, rng: deriveRand(c.seed, label)}
+	if c.tel.Tracing() {
+		t.track = c.tel.Track("shell.cpu", name)
+	}
 	c.threads = append(c.threads, t)
 	return t
 }
@@ -150,6 +163,9 @@ func (c *CPU) Tick() {
 		next := t.ops[0]
 		t.ops = t.ops[1:]
 		t.busy = true
+		if t.track != nil {
+			t.opStart = c.sys.Sim.Cycle()
+		}
 		next(t)
 	}
 }
@@ -200,7 +216,9 @@ func (t *Thread) jitter() int {
 	if t.cpu.sys.Cfg.JitterMax <= 0 {
 		return 0
 	}
-	return t.rng.Intn(t.cpu.sys.Cfg.JitterMax + 1)
+	n := t.rng.Intn(t.cpu.sys.Cfg.JitterMax + 1)
+	t.cpu.jitterHist.Observe(float64(n))
+	return n
 }
 
 func (t *Thread) enqueue(f op) *Thread {
@@ -218,6 +236,9 @@ func (t *Thread) enqueue(f op) *Thread {
 // manager Ticks while the CPU may be asleep, so they wake it.
 func (t *Thread) done() {
 	t.busy = false
+	if t.track != nil {
+		t.track.Span("op", t.opStart, t.cpu.sys.Sim.Cycle()+1)
+	}
 	if t.cpu.tickWake != nil {
 		t.cpu.tickWake()
 	}

@@ -15,6 +15,7 @@ import (
 	"vidi/internal/axi"
 	"vidi/internal/core"
 	"vidi/internal/sim"
+	"vidi/internal/telemetry"
 	"vidi/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	Seed int64
 	// JitterMax bounds the CPU agent's random inter-op delays.
 	JitterMax int
+	// Telemetry, when non-nil, receives the shell's metrics (DMA bursts and
+	// beats per engine, CPU jitter draws, interrupts delivered) and, with
+	// tracing armed, per-engine and per-CPU-thread span tracks. Purely
+	// observational: simulation behaviour is identical with or without it.
+	Telemetry *telemetry.Sink
 }
 
 // System is one assembled platform instance.
@@ -160,6 +166,9 @@ func NewSystem(cfg Config) *System {
 
 	if !cfg.Replay {
 		sys.buildEnvironment()
+	}
+	if cfg.Telemetry != nil {
+		sys.bindTelemetry(cfg.Telemetry)
 	}
 	return sys
 }

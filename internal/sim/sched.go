@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"vidi/internal/telemetry"
 )
 
 // Signal is anything a module can declare in its Sensitivity: a *Wire or a
@@ -288,6 +291,22 @@ type partition struct {
 	skipped   uint64
 	tickSkips uint64
 
+	// telemetry bookkeeping, written only by the partition's own worker and
+	// folded into the sink on scrape (never read during a Step). wakes
+	// counts event-driven pending marks (signal changes and Touch hooks);
+	// busyCycles counts cycles with at least one Eval; evalNS is the sampled
+	// settle time (every timingSampleEvery-th cycle, scaled back up).
+	wakes      uint64
+	busyCycles uint64
+	evalNS     uint64
+
+	// track is the partition's Perfetto lane (nil without tracing); the
+	// span fields coalesce consecutive busy cycles into one span.
+	track     *telemetry.Track
+	spanOpen  bool
+	spanStart uint64
+	spanEnd   uint64
+
 	_ [24]byte // pad to reduce false sharing between parallel partitions
 }
 
@@ -297,6 +316,10 @@ type scheduler struct {
 	mods    []modState
 	parts   []partition
 	workers int // effective worker count for parallel phases
+
+	// timed arms the sampled per-partition settle timing (telemetry sink
+	// attached).
+	timed bool
 
 	// readsAllNames lists the modules scheduled with the ReadsAll fallback,
 	// in registration order, so Stats can surface conservative fallbacks.
@@ -319,14 +342,38 @@ func (sc *scheduler) touched(g *sigcore) {
 		if !ms.pending {
 			ms.pending = true
 			p.pendingCount++
+			p.wakes++
 		}
 	}
 }
 
-// settlePart runs one cycle's combinational settle for a single partition:
-// a pending-set worklist processed in ascending module (registration) order,
-// bounded by maxIters waves so combinational loops are still detected.
+// Settle timing is sampled, not continuous: time.Now costs enough that
+// wrapping every partition's settle every cycle would show up against the
+// ≤2% telemetry overhead budget, so one cycle in timingSampleEvery is
+// measured and scaled back up. The sample phase is cycle-aligned, hence
+// deterministic; the measured value feeds a counter only and can never
+// perturb simulation behaviour.
+const (
+	timingSampleEvery = 16
+	timingSampleMask  = timingSampleEvery - 1
+)
+
+// settlePart runs one cycle's combinational settle for one partition,
+// measuring the sampled settle time when a telemetry sink is attached.
 func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error {
+	if !sc.timed || cycle&timingSampleMask != 0 {
+		return sc.settlePartRun(p, cycle, maxIters)
+	}
+	t0 := time.Now()
+	err := sc.settlePartRun(p, cycle, maxIters)
+	p.evalNS += uint64(time.Since(t0)) * timingSampleEvery
+	return err
+}
+
+// settlePartRun is the settle worklist: a pending-set processed in
+// ascending module (registration) order, bounded by maxIters waves so
+// combinational loops are still detected.
+func (sc *scheduler) settlePartRun(p *partition, cycle uint64, maxIters int) error {
 	// Wave 0 seeds: everything already pending (an input changed or the
 	// module was Touched last cycle), plus the modules that declare no
 	// stability at all and the few whose stability must be polled. Everything
@@ -345,6 +392,7 @@ func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error 
 			p.pendingCount++
 		}
 	}
+	didWork := false
 	for wave := 0; p.pendingCount > 0; wave++ {
 		if wave >= maxIters {
 			return fmt.Errorf("%w at cycle %d", ErrCombLoop, cycle)
@@ -376,6 +424,9 @@ func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error 
 		p.evals += evals
 		p.waves++
 		p.skipped += uint64(len(p.modules)) - evals
+		if evals > 0 {
+			didWork = true
+		}
 		// A ReadsAll module re-evaluates on every wave in which anything
 		// in its partition changed, matching the legacy fixpoint.
 		if p.changedInWave {
@@ -391,7 +442,27 @@ func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error 
 	// The legacy kernel always runs one extra full pass per cycle: the final
 	// no-change confirmation (a quiet cycle is exactly one such pass).
 	p.skipped += uint64(len(p.modules))
+	if didWork {
+		p.busyCycles++
+		if p.track != nil {
+			p.noteBusy(cycle)
+		}
+	}
 	return nil
+}
+
+// noteBusy extends (or opens) the partition's coalesced busy span; runs of
+// consecutive active cycles become a single Perfetto slice, bounding event
+// volume on long runs.
+func (p *partition) noteBusy(cycle uint64) {
+	if p.spanOpen && p.spanEnd == cycle {
+		p.spanEnd = cycle + 1
+		return
+	}
+	if p.spanOpen {
+		p.track.Span("busy", p.spanStart, p.spanEnd)
+	}
+	p.spanOpen, p.spanStart, p.spanEnd = true, cycle, cycle+1
 }
 
 // tickPart commits sequential state for one partition at the clock edge.
@@ -764,6 +835,7 @@ func (s *Simulator) Build() error {
 				if !st.pending {
 					st.pending = true
 					sc.parts[pidx].pendingCount++
+					sc.parts[pidx].wakes++
 				}
 			})
 		}
@@ -811,6 +883,9 @@ func (s *Simulator) Build() error {
 		sc.workers = 1
 	}
 	sc.readsAllNames = readsAllNames
+	if s.tel != nil {
+		sc.bindTelemetry(s.tel)
+	}
 	if s.sensCheck {
 		// The probe's access record is a single buffer, so checking runs the
 		// partitions sequentially; results are unchanged (partitions are

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"vidi/internal/telemetry"
 )
 
 // Module is a hardware block. Eval drives combinational outputs and is run
@@ -118,6 +120,10 @@ type Simulator struct {
 	ties    [][]Module
 	workers int
 	stats   Stats
+
+	// tel, when non-nil, is bound to the schedule at Build time; see
+	// SetTelemetry.
+	tel *telemetry.Sink
 
 	// Dynamic sensitivity checker (SetSensitivityCheck): probe is non-nil
 	// while a schedule built with checking is live.

@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's type.
+type Kind uint8
+
+// The three instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing shard. The shard is padded to a
+// cache line because shards of different partitions are written from
+// parallel workers.
+type Counter struct {
+	n uint64
+	_ [56]byte
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.n += n
+	}
+}
+
+// Gauge is a shard holding an arbitrary value. Shards of one series fold by
+// summation on scrape.
+type Gauge struct {
+	v float64
+	_ [56]byte
+}
+
+// Set replaces the shard's value. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add adjusts the shard's value. No-op on a nil receiver.
+func (g *Gauge) Add(v float64) {
+	if g != nil {
+		g.v += v
+	}
+}
+
+// Histogram is a fixed-bucket distribution shard.
+type Histogram struct {
+	bounds []float64 // inclusive upper bounds, ascending, finite
+	counts []uint64  // len(bounds)+1; the last is the +Inf overflow bucket
+	sum    float64
+	total  uint64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// ExpBuckets returns n bucket bounds start, start*factor, ... for
+// Sink.Histogram.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// series is one label combination of a family: the fold target for all
+// shards registered under the same identity.
+type series struct {
+	labels   []Label // sorted by key
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// family is one metric name: its kind, help and series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64 // histogram families share one bucket layout
+	series  map[string]*series
+}
+
+// Registry holds metric families. Registration takes a mutex (it happens at
+// Build/setup time); shard mutation is lock-free single-writer arithmetic.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	flushers []func()
+}
+
+// NewRegistry returns an empty registry. Most callers want New (a Sink)
+// instead.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind Kind) *family {
+	mustValidMetricName(name)
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) at(labels []Label) *series {
+	key := labelKey(labels)
+	se, ok := f.series[key]
+	if !ok {
+		se = &series{labels: labels}
+		f.series[key] = se
+	}
+	return se
+}
+
+func (r *Registry) counter(name, help string, labels []Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	se := r.family(name, help, KindCounter).at(labels)
+	se.counters = append(se.counters, c)
+	return c
+}
+
+func (r *Registry) gauge(name, help string, labels []Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	se := r.family(name, help, KindGauge).at(labels)
+	se.gauges = append(se.gauges, g)
+	return g
+}
+
+func (r *Registry) histogram(name, help string, buckets []float64, labels []Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket", name))
+	}
+	for i, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic(fmt.Sprintf("telemetry: histogram %q has a non-finite bucket", name))
+		}
+		if i > 0 && buckets[i-1] >= b {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets must ascend", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, KindHistogram)
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+	} else if !equalBuckets(f.buckets, buckets) {
+		panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+	}
+	h := &Histogram{bounds: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
+	se := f.at(labels)
+	se.hists = append(se.hists, h)
+	return h
+}
+
+func (r *Registry) flush() {
+	r.mu.Lock()
+	fs := append([]func(){}, r.flushers...)
+	r.mu.Unlock()
+	for _, f := range fs {
+		f()
+	}
+}
+
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey is the canonical series identity for a sorted label set.
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0xff)
+		b.WriteString(l.Value)
+		b.WriteByte(0xfe)
+	}
+	return b.String()
+}
+
+// mustValidMetricName enforces the Prometheus metric name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func mustValidMetricName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabelKey enforces the Prometheus label name charset
+// [a-zA-Z_][a-zA-Z0-9_]* and reserves the __ prefix.
+func mustValidLabelKey(key string) {
+	if !validName(key, false) || strings.HasPrefix(key, "__") {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", key))
+	}
+}
+
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartPprof begins CPU profiling into prefix+".cpu.pprof" and returns a
+// stop function that ends it and writes a heap profile to
+// prefix+".mem.pprof". Shared by the vidi-record/vidi-replay/vidi-bench
+// -pprof flags.
+func StartPprof(prefix string) (stop func() error, err error) {
+	cpuF, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuF.Close(); err != nil {
+			return err
+		}
+		memF, err := os.Create(prefix + ".mem.pprof")
+		if err != nil {
+			return err
+		}
+		defer memF.Close()
+		runtime.GC() // settle allocations so the heap profile is current
+		return pprof.WriteHeapProfile(memF)
+	}, nil
+}

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time fold of a registry: the exchange format
+// between a run and vidi-top, and the unit MergeSnapshots combines when one
+// process (vidi-bench) gathers several runs.
+type Snapshot struct {
+	Families []FamilySnap `json:"families"`
+}
+
+// FamilySnap is one metric family in a snapshot.
+type FamilySnap struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Kind   string       `json:"kind"`
+	Series []SeriesSnap `json:"series"`
+}
+
+// SeriesSnap is one label combination's folded value.
+type SeriesSnap struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the folded counter or gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields. Buckets carry the finite upper bounds only; the
+	// implicit +Inf bucket's cumulative count equals Count.
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// gather folds every family's shards into a deterministically ordered
+// snapshot: families by name, series by label signature.
+func (r *Registry) gather() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &Snapshot{}
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			se := f.series[k]
+			ss := SeriesSnap{}
+			if len(se.labels) > 0 {
+				ss.Labels = make(map[string]string, len(se.labels))
+				for _, l := range se.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				var total uint64
+				for _, c := range se.counters {
+					total += c.n
+				}
+				ss.Value = float64(total)
+			case KindGauge:
+				for _, g := range se.gauges {
+					ss.Value += g.v
+				}
+			case KindHistogram:
+				cum := make([]uint64, len(f.buckets)+1)
+				for _, h := range se.hists {
+					for i, c := range h.counts {
+						cum[i] += c
+					}
+					ss.Sum += h.sum
+					ss.Count += h.total
+				}
+				running := uint64(0)
+				for i, b := range f.buckets {
+					running += cum[i]
+					ss.Buckets = append(ss.Buckets, Bucket{LE: b, Count: running})
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// MergeSnapshots combines snapshots into one: same-kind families unify and
+// series with identical labels fold by summation (bucket layouts must
+// match). Distinguish runs with const labels (app="sssp") before merging.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	type mf struct {
+		FamilySnap
+		byKey map[string]int // label signature → index into Series
+	}
+	fams := map[string]*mf{}
+	var order []string
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte(0xff)
+			b.WriteString(labels[k])
+			b.WriteByte(0xfe)
+		}
+		return b.String()
+	}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, f := range s.Families {
+			m, ok := fams[f.Name]
+			if !ok {
+				m = &mf{FamilySnap: FamilySnap{Name: f.Name, Help: f.Help, Kind: f.Kind}, byKey: map[string]int{}}
+				fams[f.Name] = m
+				order = append(order, f.Name)
+			} else if m.Kind != f.Kind {
+				return nil, fmt.Errorf("telemetry: merge: family %q is both %s and %s", f.Name, m.Kind, f.Kind)
+			}
+			for _, se := range f.Series {
+				k := sig(se.Labels)
+				i, ok := m.byKey[k]
+				if !ok {
+					m.byKey[k] = len(m.Series)
+					cp := se
+					cp.Buckets = append([]Bucket(nil), se.Buckets...)
+					m.Series = append(m.Series, cp)
+					continue
+				}
+				dst := &m.Series[i]
+				dst.Value += se.Value
+				dst.Sum += se.Sum
+				dst.Count += se.Count
+				if len(dst.Buckets) != len(se.Buckets) {
+					return nil, fmt.Errorf("telemetry: merge: family %q bucket layouts differ", f.Name)
+				}
+				for bi := range dst.Buckets {
+					if dst.Buckets[bi].LE != se.Buckets[bi].LE {
+						return nil, fmt.Errorf("telemetry: merge: family %q bucket bounds differ", f.Name)
+					}
+					dst.Buckets[bi].Count += se.Buckets[bi].Count
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	out := &Snapshot{}
+	for _, n := range order {
+		m := fams[n]
+		sort.Slice(m.Series, func(i, j int) bool { return sig(m.Series[i].Labels) < sig(m.Series[j].Labels) })
+		out.Families = append(out.Families, m.FamilySnap)
+	}
+	return out, nil
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a JSON snapshot (the vidi-top input format).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// WritePrometheus encodes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): families ordered by name, series by label
+// signature, histograms expanded into _bucket/_sum/_count.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, se := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				for _, bk := range se.Buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.Name, labelString(se.Labels, "le", formatFloat(bk.LE)), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, labelString(se.Labels, "le", "+Inf"), se.Count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, labelString(se.Labels, "", ""), formatFloat(se.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, labelString(se.Labels, "", ""), se.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.Name, labelString(se.Labels, "", ""), formatFloat(se.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Family returns the named family, or nil.
+func (s *Snapshot) Family(name string) *FamilySnap {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Total sums a family's folded values across all series (0 if absent).
+func (s *Snapshot) Total(name string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	var t float64
+	for _, se := range f.Series {
+		t += se.Value
+	}
+	return t
+}
+
+// Label returns one label's value ("" if absent).
+func (ss SeriesSnap) Label(key string) string { return ss.Labels[key] }
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le label). Returns "" when there is nothing to render.
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q matches the exposition escaping rules for our ASCII label
+		// values: backslash, quote and newline.
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders integral values without an exponent so counter
+// expositions stay exact and diffable.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

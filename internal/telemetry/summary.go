@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary is the shared nearest-rank sample summary used by both post-hoc
+// trace profiling (internal/profile) and live run inspection (vidi-top), so
+// the two agree on percentile definitions.
+type Summary struct {
+	Count    int
+	Min, Max int
+	Mean     float64
+	P50, P95 int
+}
+
+// Summarize computes a Summary over samples (left unmodified).
+func Summarize(samples []int) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]int(nil), samples...)
+	sort.Ints(s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Count: len(s), Min: s[0], Max: s[len(s)-1],
+		Mean: float64(sum) / float64(len(s)),
+		P50:  s[RankIndex(len(s), 50)],
+		P95:  s[RankIndex(len(s), 95)],
+	}
+}
+
+// RankIndex returns the zero-based nearest-rank index for percentile p over
+// n ascending samples: ceil(n*p/100) - 1, clamped to [0, n-1]. The ceil is
+// what keeps small n honest — the truncating form n*p/100 lands one rank
+// too high whenever n*p is an exact multiple of 100 (n=20, p=95: index 19,
+// the maximum, where the nearest-rank definition wants rank 19 = index 18).
+func RankIndex(n, p int) int {
+	r := (n*p + 99) / 100
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r - 1
+}
+
+// String implements fmt.Stringer in the profile report's compact format.
+func (h Summary) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d max=%d mean=%.1f", h.Count, h.Min, h.P50, h.P95, h.Max, h.Mean)
+}

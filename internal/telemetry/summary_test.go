@@ -1,0 +1,64 @@
+package telemetry
+
+import "testing"
+
+// TestSummaryNearestRank is the regression for the P95 rank overread: the
+// truncating form s[n*95/100] lands one rank too high whenever n*95 is an
+// exact multiple of 100 (n=20 reports the max as P95; n=100 reports the
+// 96th rank); ceil-rank indexing is checked across the sizes the issue
+// names.
+func TestSummaryNearestRank(t *testing.T) {
+	seq := func(n int) []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i + 1 // 1..n, already its own sorted ranks
+		}
+		return s
+	}
+	cases := []struct {
+		n        int
+		p50, p95 int
+	}{
+		{n: 1, p50: 1, p95: 1},
+		{n: 2, p50: 1, p95: 2},
+		{n: 19, p50: 10, p95: 19},  // ceil(19*.95)=19 → last element, same as before
+		{n: 20, p50: 10, p95: 19},  // exact multiple: old code picked index 19 (the max)
+		{n: 100, p50: 50, p95: 95}, // exact multiple at scale: old code picked rank 96
+	}
+	for _, c := range cases {
+		got := Summarize(seq(c.n))
+		if got.Count != c.n || got.Min != 1 || got.Max != c.n {
+			t.Errorf("n=%d: count/min/max wrong: %+v", c.n, got)
+		}
+		if got.P50 != c.p50 {
+			t.Errorf("n=%d: P50=%d, want %d", c.n, got.P50, c.p50)
+		}
+		if got.P95 != c.p95 {
+			t.Errorf("n=%d: P95=%d, want %d", c.n, got.P95, c.p95)
+		}
+	}
+	if got := Summarize(nil); got.Count != 0 || got.String() != "n=0" {
+		t.Errorf("empty summary: %+v", got)
+	}
+	m := Summarize([]int{2, 2, 5})
+	if m.Mean != 3 || m.String() != "n=3 min=2 p50=2 p95=5 max=5 mean=3.0" {
+		t.Errorf("summary formatting: %q", m.String())
+	}
+}
+
+// TestRankIndexBounds sweeps RankIndex to prove it never leaves [0, n-1].
+func TestRankIndexBounds(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		for _, p := range []int{0, 1, 50, 95, 99, 100} {
+			i := RankIndex(n, p)
+			if i < 0 || i >= n {
+				t.Fatalf("RankIndex(%d, %d) = %d out of range", n, p, i)
+			}
+		}
+	}
+	// The regression shape itself: n=20, p=95 must be the 19th rank (index
+	// 18); the old truncating arithmetic picked index 19, the sample max.
+	if i := RankIndex(20, 95); i != 18 {
+		t.Fatalf("RankIndex(20, 95) = %d, want 18", i)
+	}
+}
