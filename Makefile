@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke telemetry-smoke ci bench tables examples fuzz clean
+.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke telemetry-smoke serve-chaos-smoke ci bench tables examples fuzz clean
 
 all: build vet lint test
 
@@ -63,8 +63,15 @@ telemetry-smoke:
 	$(GO) run ./cmd/vidi-top -trace /tmp/vidi-smoke-trace.json
 	$(GO) run ./cmd/vidi-top -app framefifo -seed 7
 
+# Service fault matrix under the race detector: live vidi-serve instances
+# take chaos-injected uploads (wire corruption, brownouts, store outages,
+# kill-and-restart mid-session) and must end with zero corrupted manifests
+# and zero silent divergences. The full 13-scenario matrix, not -short.
+serve-chaos-smoke:
+	$(GO) test -race -count=1 -run TestChaosMatrix ./internal/serve
+
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke telemetry-smoke
+ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke telemetry-smoke serve-chaos-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 # Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs

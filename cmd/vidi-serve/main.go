@@ -1,0 +1,101 @@
+// vidi-serve is the multi-tenant record/replay service: tenants open
+// recording sessions over HTTP, stream CRC/sequenced storage frames into a
+// crash-safe content-addressed trace store, and queue replay/compare/
+// diagnose jobs executed by a bounded worker pool. Every start replays the
+// store journal and quarantines torn or damaged artifacts before serving.
+//
+// Usage:
+//
+//	vidi-serve -root artifacts -addr :9412     # serve
+//	vidi-serve -chaos                          # run the service fault matrix and exit
+//
+// Observability: GET /metrics serves Prometheus text (vidi-top -url
+// renders it), GET /healthz the breaker and session state, GET
+// /v1/recovery the startup recovery report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"vidi/internal/serve"
+	"vidi/internal/telemetry"
+)
+
+func main() {
+	root := flag.String("root", "artifacts", "trace store root directory")
+	addr := flag.String("addr", ":9412", "listen address")
+	chaos := flag.Bool("chaos", false, "run the chaos fault matrix against a live in-process server, report, and exit")
+	scale := flag.Int("scale", 1, "workload scale for -chaos")
+	seed := flag.Int64("seed", 42, "seed for -chaos and store retry jitter")
+	tenantSessions := flag.Int("tenant-sessions", 0, "max open sessions per tenant (0 = default)")
+	maxSessions := flag.Int("max-sessions", 0, "max open sessions server-wide (0 = default)")
+	workers := flag.Int("workers", 0, "replay job workers (0 = default)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0 = default)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vidi-serve:", err)
+		os.Exit(1)
+	}
+
+	if *chaos {
+		dir, err := os.MkdirTemp("", "vidi-serve-chaos-")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+		report, err := serve.RunChaosMatrix(serve.ChaosOptions{
+			Root:  dir,
+			Scale: *scale,
+			Seed:  *seed,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.String())
+		if fails := report.Failures(); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("chaos matrix passed: zero corrupted manifests, zero silent divergences")
+		return
+	}
+
+	st, rec, err := serve.OpenStore(*root, serve.StoreOptions{JitterSeed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rec.String())
+
+	sink := telemetry.New(telemetry.WithTracing(), telemetry.WithConstLabels(telemetry.L("service", "vidi-serve")))
+	srv := serve.NewServer(st, serve.ServerOptions{
+		Limits: serve.Limits{
+			MaxSessionsPerTenant: *tenantSessions,
+			MaxOpenSessions:      *maxSessions,
+			Workers:              *workers,
+			RequestTimeout:       *reqTimeout,
+		},
+		Sink:     sink,
+		Recovery: rec,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("vidi-serve: listening on %s, store root %s\n", *addr, *root)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+}

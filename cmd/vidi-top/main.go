@@ -9,9 +9,11 @@
 //	vidi-top -metrics snap.json       # inspect a snapshot (vidi-record/-bench -metrics)
 //	vidi-top -app sssp -seed 42       # run an instrumented R2 recording, then inspect it
 //	vidi-top -trace timeline.json     # validate + summarise a trace_event timeline
+//	vidi-top -url http://host:9412    # scrape a live vidi-serve /metrics and inspect it
+//	vidi-top -url ... -watch 2s       # re-scrape and re-render on an interval
 //
-// Snapshots must be the JSON encoding (-metrics with a .json path); the
-// Prometheus text form is for scrape pipelines and is not read back.
+// File snapshots must be the JSON encoding (-metrics with a .json path);
+// -url reads the Prometheus text form a live /metrics endpoint serves.
 package main
 
 import (
@@ -19,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"vidi/internal/apps"
 	"vidi/internal/eval"
@@ -32,6 +36,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to inspect")
 	tracePath := flag.String("trace", "", "trace_event timeline JSON to validate and summarise")
 	app := flag.String("app", "", "run one instrumented R2 recording of this app and inspect it: "+strings.Join(apps.Names(), ", "))
+	url := flag.String("url", "", "scrape a live /metrics endpoint (Prometheus text) and inspect it")
+	watch := flag.Duration("watch", 0, "with -url: re-scrape and re-render on this interval (0 = once)")
 	seed := flag.Int64("seed", 1, "environment timing seed (with -app)")
 	scale := flag.Int("scale", 1, "workload scale factor (with -app)")
 	topN := flag.Int("top", 8, "rows shown per table")
@@ -42,6 +48,10 @@ func main() {
 		os.Exit(1)
 	}
 	switch {
+	case *url != "":
+		if err := watchURL(os.Stdout, *url, *watch, *topN); err != nil {
+			fail(err)
+		}
 	case *metricsPath != "":
 		f, err := os.Open(*metricsPath)
 		if err != nil {
@@ -109,13 +119,59 @@ func values(snap *telemetry.Snapshot, family string) map[string]float64 {
 	return out
 }
 
-// render writes the inspection tables.
+// render writes the inspection tables. A snapshot scraped from vidi-serve
+// gets the service table; the simulation tables render only when their
+// families are present, so a pure service scrape stays compact.
 func render(w io.Writer, snap *telemetry.Snapshot, topN int) {
+	serve := renderService(w, snap)
+	if serve && snap.Family("vidi_sched_cycles") == nil {
+		return
+	}
 	renderOverview(w, snap)
 	renderPartitions(w, snap, topN)
 	renderChannels(w, snap, topN)
 	renderEngines(w, snap, topN)
 	renderStalls(w, snap)
+}
+
+// renderService shows the vidi-serve families when the snapshot came from
+// a live service scrape; simulation snapshots don't carry them and skip
+// the section entirely.
+func renderService(w io.Writer, snap *telemetry.Snapshot) bool {
+	found := false
+	for _, f := range snap.Families {
+		if strings.HasPrefix(f.Name, "vidi_serve_") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	fmt.Fprintf(w, "== vidi-serve ==\n")
+	fmt.Fprintf(w, "sessions open %.0f  breaker %.1f  jobs queued %.0f\n",
+		snap.Total("vidi_serve_sessions_open"), snap.Total("vidi_serve_breaker_state"),
+		snap.Total("vidi_serve_jobs_queued"))
+	kv := func(label string, v float64) {
+		if v != 0 {
+			fmt.Fprintf(w, "%-32s %10.0f\n", label, v)
+		}
+	}
+	for _, f := range snap.Families {
+		if !strings.HasPrefix(f.Name, "vidi_serve_") || !strings.HasSuffix(f.Name, "_total") {
+			continue
+		}
+		label := strings.TrimSuffix(strings.TrimPrefix(f.Name, "vidi_serve_"), "_total")
+		if f.Name == "vidi_serve_http_responses_total" {
+			for _, e := range sortedKVList(values(snap, f.Name)) {
+				kv("http responses {"+e.key+"}", e.val)
+			}
+			continue
+		}
+		kv(strings.ReplaceAll(label, "_", " "), snap.Total(f.Name))
+	}
+	fmt.Fprintln(w)
+	return true
 }
 
 func renderOverview(w io.Writer, snap *telemetry.Snapshot) {
@@ -376,4 +432,48 @@ func summariseTrace(w io.Writer, path string, topN int) error {
 			st.name, st.spans, st.instants, st.totalDur, st.firstTs, st.last)
 	}
 	return nil
+}
+
+// watchURL scrapes a live Prometheus /metrics endpoint and renders the
+// snapshot tables, once or on an interval. A bare server URL (no path, or
+// "/") gets "/metrics" appended so `-url http://host:9412` just works.
+func watchURL(w io.Writer, url string, interval time.Duration, topN int) error {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if i := strings.Index(url, "://"); !strings.Contains(url[i+3:], "/") || strings.HasSuffix(url, "/") {
+		url = strings.TrimSuffix(url, "/") + "/metrics"
+	}
+	for {
+		snap, err := scrape(url)
+		if err != nil {
+			return err
+		}
+		if interval > 0 {
+			fmt.Fprintf(w, "-- %s @ %s --\n", url, time.Now().Format(time.TimeOnly))
+		}
+		render(w, snap, topN)
+		if interval <= 0 {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func scrape(url string) (*telemetry.Snapshot, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	snap, err := telemetry.ParsePrometheus(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return snap, nil
 }

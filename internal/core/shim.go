@@ -86,6 +86,10 @@ type Options struct {
 	// backoff; a fault persisting past the retry budget aborts the run with
 	// a StoreFaultError.
 	StoreFaultFn func(cycle uint64) bool
+	// StoreRetryJitterSeed arms deterministic seeded jitter on the trace
+	// store's retry backoff (see Store.RetryJitterSeed). Zero keeps the
+	// unjittered golden schedule.
+	StoreRetryJitterSeed int64
 	// Telemetry, when non-nil, receives the shim's metrics and transaction
 	// spans. Counters stay on plain component fields and are folded into the
 	// sink only at scrape time, so recording and replay behaviour is
@@ -165,6 +169,7 @@ func NewShim(s *sim.Simulator, b *Boundary, opts Options) (*Shim, error) {
 		meta := eff.Meta(opts.ValidateOutputs)
 		sh.recStore = NewStore(opts.StoreBytesPerCycle, opts.Link)
 		sh.recStore.FaultFn = opts.StoreFaultFn
+		sh.recStore.RetryJitterSeed = opts.StoreRetryJitterSeed
 		enc = NewEncoder(meta, sh.recStore, opts.BufBytes)
 		enc.EmitIdlePackets = opts.EmitIdlePackets
 		enc.Degraded = opts.DegradedRecording

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"vidi/internal/axi"
 	"vidi/internal/sim"
@@ -73,8 +74,17 @@ type Store struct {
 	// BackoffCycles is the base retry delay, doubled per consecutive
 	// failure (capped). Zero selects DefaultBackoffCycles.
 	BackoffCycles int
+	// RetryJitterSeed, when non-zero, arms deterministic jitter on the
+	// retry backoff: each scheduled retry adds a seed-derived draw in
+	// [0, BackoffCycles) so concurrent stores sharing a faulted link do
+	// not synchronize their retry bursts, while the same seed reproduces
+	// the exact schedule under test. Zero keeps the unjittered schedule
+	// (the golden-test configuration).
+	RetryJitterSeed int64
 
 	name string
+
+	jitter *rand.Rand // lazily seeded from RetryJitterSeed
 
 	budget int // remaining bytes this cycle
 
@@ -159,7 +169,14 @@ func (s *Store) Accept(n int) int {
 		if shift > 6 {
 			shift = 6
 		}
-		s.backoffUntil = s.cycle + s.backoffBase()<<uint(shift)
+		delay := s.backoffBase() << uint(shift)
+		if s.RetryJitterSeed != 0 {
+			if s.jitter == nil {
+				s.jitter = sim.NewRand(s.RetryJitterSeed)
+			}
+			delay += uint64(s.jitter.Intn(int(s.backoffBase())))
+		}
+		s.backoffUntil = s.cycle + delay
 		return 0
 	}
 	s.failStreak = 0

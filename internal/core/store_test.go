@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"vidi/internal/axi"
@@ -171,5 +173,84 @@ func TestStorePermanentFault(t *testing.T) {
 	// The checker surfaces it.
 	if cerr := (storeChecker{s: s, site: "test"}).Check(); !errors.Is(cerr, ErrStoreFault) {
 		t.Fatalf("checker returned %v", cerr)
+	}
+}
+
+// retrySchedule drives a permanently faulted store for n cycles and
+// returns the cycles at which transfer attempts were made — the observable
+// retry timeline.
+func retrySchedule(jitterSeed int64, n int) []uint64 {
+	s := NewStore(8, nil)
+	s.BackoffCycles = 4
+	s.MaxRetries = 1 << 30 // never escalate inside the observation window
+	s.RetryJitterSeed = jitterSeed
+	var attempts []uint64
+	s.FaultFn = func(cycle uint64) bool {
+		attempts = append(attempts, cycle)
+		return false
+	}
+	tick(s, 1)
+	for i := 0; i < n; i++ {
+		s.Accept(8)
+		s.Tick()
+	}
+	return attempts
+}
+
+// TestStoreRetryJitter: seeded jitter must be reproducible for one seed,
+// decorrelated across seeds, and absent (legacy schedule) when unarmed.
+func TestStoreRetryJitter(t *testing.T) {
+	const cycles = 3000
+	plain := retrySchedule(0, cycles)
+	// Unjittered: delays are exactly base<<shift (capped at shift 6).
+	base := uint64(4)
+	for i := 1; i < len(plain) && i < 8; i++ {
+		shift := uint(i - 1)
+		if shift > 6 {
+			shift = 6
+		}
+		if got, want := plain[i]-plain[i-1], base<<shift; got != want {
+			t.Fatalf("unjittered retry %d spacing = %d, want %d", i, got, want)
+		}
+	}
+
+	j1 := retrySchedule(42, cycles)
+	j2 := retrySchedule(42, cycles)
+	if !reflect.DeepEqual(j1, j2) {
+		t.Fatalf("same jitter seed produced different retry schedules")
+	}
+	j3 := retrySchedule(43, cycles)
+	if reflect.DeepEqual(j1, j3) {
+		t.Fatalf("different jitter seeds produced identical retry schedules")
+	}
+	// Jitter only ever delays (never schedules before the exponential
+	// floor) and stays under one extra base interval.
+	for i := 1; i < len(j1) && i < 8; i++ {
+		shift := uint(i - 1)
+		if shift > 6 {
+			shift = 6
+		}
+		gap := j1[i] - j1[i-1]
+		floor := base << shift
+		if gap < floor || gap >= floor+base {
+			t.Fatalf("jittered retry %d spacing %d outside [%d,%d)", i, gap, floor, floor+base)
+		}
+	}
+}
+
+// TestStoreFaultErrorWrapping pins the errors.Is/As contract vidi-serve
+// relies on when it mirrors the PR 1 escalation semantics.
+func TestStoreFaultErrorWrapping(t *testing.T) {
+	var err error = &StoreFaultError{Cycle: 9, Attempts: 4}
+	if !errors.Is(err, ErrStoreFault) {
+		t.Fatalf("StoreFaultError does not wrap ErrStoreFault")
+	}
+	wrapped := fmt.Errorf("serve: segment put: %w", err)
+	if !errors.Is(wrapped, ErrStoreFault) {
+		t.Fatalf("wrapped StoreFaultError lost the sentinel")
+	}
+	var sf *StoreFaultError
+	if !errors.As(wrapped, &sf) || sf.Attempts != 4 {
+		t.Fatalf("errors.As failed through the wrap: %v", wrapped)
 	}
 }

@@ -68,6 +68,9 @@ type RunConfig struct {
 	// DegradedRecording lets recording go lossy under sustained
 	// back-pressure instead of stalling the application indefinitely.
 	DegradedRecording bool
+	// StoreRetryJitterSeed arms deterministic seeded jitter on the trace
+	// store's retry backoff (zero = unjittered golden schedule).
+	StoreRetryJitterSeed int64
 	// StallBudgetCycles overrides the degradation stall budget when >0.
 	StallBudgetCycles int
 	// LegacyKernel selects the seed fixpoint simulation kernel instead of
@@ -159,14 +162,15 @@ func Build(rc RunConfig) (*Built, error) {
 	app.Build(sys)
 
 	opts := core.Options{
-		BufBytes:           rc.BufBytes,
-		StoreBytesPerCycle: rc.StoreBytesPerCycle,
-		StoreAndForward:    rc.StoreAndForward,
-		EmitIdlePackets:    rc.EmitIdlePackets,
-		OnlyInterfaces:     rc.OnlyInterfaces,
-		DegradedRecording:  rc.DegradedRecording,
-		StallBudgetCycles:  rc.StallBudgetCycles,
-		Telemetry:          rc.Telemetry,
+		BufBytes:             rc.BufBytes,
+		StoreBytesPerCycle:   rc.StoreBytesPerCycle,
+		StoreAndForward:      rc.StoreAndForward,
+		EmitIdlePackets:      rc.EmitIdlePackets,
+		OnlyInterfaces:       rc.OnlyInterfaces,
+		DegradedRecording:    rc.DegradedRecording,
+		StallBudgetCycles:    rc.StallBudgetCycles,
+		StoreRetryJitterSeed: rc.StoreRetryJitterSeed,
+		Telemetry:            rc.Telemetry,
 	}
 	if !rc.DisableShare {
 		opts.Link = sys.PCIe
@@ -232,6 +236,23 @@ func (b *Built) Execute() (*RunResult, error) {
 		res.CheckErr = b.App.Check()
 	}
 	return res, nil
+}
+
+// ReplayVerify replays a previously recorded trace (configuration R3) and
+// returns the divergence report against it — the workflow a vidi-serve
+// replay job runs against an uploaded run. maxCycles bounds the replay (0
+// selects the harness default), so a wedged replay fails loudly instead of
+// pinning a service worker forever.
+func ReplayVerify(app string, scale int, seed int64, tr *trace.Trace, maxCycles uint64) (*core.Report, *RunResult, error) {
+	rep, err := Run(RunConfig{App: app, Scale: scale, Seed: seed, Cfg: R3, ReplayTrace: tr, MaxCycles: maxCycles})
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := core.Compare(tr, rep.Trace)
+	if err != nil {
+		return nil, rep, err
+	}
+	return report, rep, nil
 }
 
 // RecordReplay performs the full §5.4 workflow for one app: an R2 reference

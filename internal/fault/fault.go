@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -113,9 +114,33 @@ func (s *Spec) active(cy uint64) bool {
 }
 
 // Plan is a complete, deterministic fault schedule.
+//
+// Concurrency: a Plan is immutable after NewPlan and safe for concurrent
+// use from many goroutines (vidi-serve arms one per live session). No RNG
+// state lives on the Plan — every method that draws randomness
+// (CorruptFrames, TruncateFrames) derives a fresh seeded source per call,
+// so concurrent callers never share a rand.Rand. Arm installs per-system
+// closures with their own private state and must be called once per built
+// system; the injectors it installs are owned by that system's simulator.
 type Plan struct {
 	Seed  int64
 	Specs []Spec
+}
+
+// Derive returns an independent plan for the same classes, with the seed
+// mixed with an fnv-64a hash of label — the per-consumer stream derivation
+// the shell uses for CPU jitter. Two sessions arming the same base plan
+// under different labels draw uncorrelated (but individually reproducible)
+// schedules, so a serve-side chaos run can fault many concurrent sessions
+// without synchronizing their windows.
+func (p *Plan) Derive(label string) *Plan {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	classes := make([]Class, len(p.Specs))
+	for i := range p.Specs {
+		classes[i] = p.Specs[i].Class
+	}
+	return NewPlan(p.Seed^int64(h.Sum64()), classes...)
 }
 
 // Per-class seed salts, so each class draws an independent deterministic

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"vidi/internal/trace"
@@ -106,4 +107,60 @@ func TestClassStrings(t *testing.T) {
 	if len(Classes()) != len(want) {
 		t.Fatalf("Classes() has %d entries, want %d", len(Classes()), len(want))
 	}
+}
+
+// TestPlanDerive: per-session derivation must be label-deterministic,
+// independent across labels, and preserve the class set.
+func TestPlanDerive(t *testing.T) {
+	base := NewPlan(7, Classes()...)
+	a1 := base.Derive("tenant-a/session-1")
+	a2 := base.Derive("tenant-a/session-1")
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same label derived different plans")
+	}
+	b := base.Derive("tenant-b/session-9")
+	if reflect.DeepEqual(a1.Specs, b.Specs) {
+		t.Fatalf("different labels derived identical schedules")
+	}
+	if len(a1.Specs) != len(base.Specs) {
+		t.Fatalf("derived plan lost classes: %d vs %d", len(a1.Specs), len(base.Specs))
+	}
+	for i := range a1.Specs {
+		if a1.Specs[i].Class != base.Specs[i].Class {
+			t.Fatalf("derived plan reordered classes")
+		}
+	}
+}
+
+// TestPlanConcurrentUse hammers one shared Plan from many goroutines the
+// way vidi-serve's session handlers do. Run under -race this pins the
+// documented contract: a Plan is immutable after NewPlan and every
+// randomness-drawing method derives a private RNG per call.
+func TestPlanConcurrentUse(t *testing.T) {
+	body := make([]byte, 2000)
+	for i := range body {
+		body[i] = byte(i * 13)
+	}
+	frames := trace.FrameStream(body)
+	p := NewPlan(11, Classes()...)
+
+	ref := p.CorruptFrames(frames)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := p.CorruptFrames(frames); !reflect.DeepEqual(got, ref) {
+					t.Errorf("goroutine %d: concurrent CorruptFrames diverged", g)
+					return
+				}
+				p.TruncateFrames(frames)
+				_ = p.Spec(LinkOutage).active(uint64(i))
+				_ = p.String()
+				_ = p.Derive("s").Seed
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vidi/internal/trace"
+)
+
+// Client is the upload-side of the service: it chunks a recorded trace's
+// storage frames into segments, streams them with bounded retries, and
+// degrades honestly — a segment that cannot be delivered becomes a
+// declared gap, never a silently shorter run.
+type Client struct {
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// SegmentFrames sizes upload segments in frames (default 64).
+	SegmentFrames int
+	// MaxRetries bounds delivery attempts per segment (default 4).
+	MaxRetries int
+	// RetryBase is the client-side backoff base (default 5ms).
+	RetryBase time.Duration
+	// WireFault, when set, perturbs a segment in transit: it receives the
+	// attempt number, the segment's first sequence and a private copy of
+	// the payload, and returns the bytes to actually send, or an error to
+	// model the link being down for that attempt. The chaos harness arms
+	// fault.Plan streams here.
+	WireFault func(attempt int, firstSeq uint32, data []byte) ([]byte, error)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) segmentFrames() int {
+	if c.SegmentFrames > 0 {
+		return c.SegmentFrames
+	}
+	return 64
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 4
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 5 * time.Millisecond
+}
+
+// APIError is a structured error response from the service.
+type APIError struct {
+	Status int
+	Code   string
+	Detail string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve client: HTTP %d %s: %s", e.Status, e.Code, e.Detail)
+}
+
+// doJSON runs one JSON request/response exchange.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return toAPIError(resp.StatusCode, data)
+	}
+	if out != nil && len(data) > 0 {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func toAPIError(status int, body []byte) error {
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Code != "" {
+		return &APIError{Status: status, Code: ae.Code, Detail: ae.Detail}
+	}
+	return &APIError{Status: status, Code: "http_error", Detail: string(body)}
+}
+
+// OpenSession opens a recording session for runID.
+func (c *Client) OpenSession(ctx context.Context, runID string, meta RunMeta) (*openSessionResponse, error) {
+	var out openSessionResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/sessions", openSessionRequest{
+		RunID: runID, Tenant: meta.Tenant, App: meta.App, Scale: meta.Scale, Seed: meta.Seed,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PutSegment delivers one segment, retrying transient rejections (503
+// store faults, open breaker, 429 shed) with backoff and honouring the
+// per-attempt WireFault hook. A 422 (the wire corrupted the payload) is
+// retried with a fresh copy; persistent failure returns the last error.
+func (c *Client) PutSegment(ctx context.Context, sessionID string, firstSeq uint32, data []byte) (*putSegmentResponse, error) {
+	var last error
+	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
+		if attempt > 0 {
+			d := c.retryBase() << uint(attempt-1)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		wire := append([]byte(nil), data...)
+		if c.WireFault != nil {
+			var err error
+			wire, err = c.WireFault(attempt, firstSeq, wire)
+			if err != nil {
+				last = err // link down this attempt
+				continue
+			}
+		}
+		resp, err := c.putSegmentOnce(ctx, sessionID, firstSeq, wire)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		var ae *APIError
+		if asAPI(err, &ae) {
+			switch {
+			case ae.Status == http.StatusUnprocessableEntity:
+				// The wire mangled it; a clean retry may still land.
+				continue
+			case ae.Status == http.StatusServiceUnavailable || ae.Status == http.StatusTooManyRequests:
+				continue
+			case ae.Status == http.StatusGatewayTimeout:
+				continue
+			default:
+				return nil, err // conflict, closed session, quota: not retryable
+			}
+		}
+		// transport error: retry
+	}
+	return nil, last
+}
+
+func asAPI(err error, target **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+func (c *Client) putSegmentOnce(ctx context.Context, sessionID string, firstSeq uint32, data []byte) (*putSegmentResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/sessions/%s/segments", c.BaseURL, sessionID), bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Vidi-First-Seq", strconv.FormatUint(uint64(firstSeq), 10))
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, toAPIError(resp.StatusCode, body)
+	}
+	var out putSegmentResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MarkGap declares frames permanently lost in transit.
+func (c *Client) MarkGap(ctx context.Context, sessionID string, frames uint64) error {
+	return c.doJSON(ctx, http.MethodPost,
+		fmt.Sprintf("/v1/sessions/%s/gap", sessionID), gapRequest{Frames: frames}, nil)
+}
+
+// Commit seals the session and returns the run's verified manifest.
+func (c *Client) Commit(ctx context.Context, sessionID string) (*Manifest, error) {
+	var m Manifest
+	if err := c.doJSON(ctx, http.MethodPost,
+		fmt.Sprintf("/v1/sessions/%s/commit", sessionID), nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Abort discards the session (durable segments stay resumable).
+func (c *Client) Abort(ctx context.Context, sessionID string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+}
+
+// UploadStats summarizes one trace upload.
+type UploadStats struct {
+	Segments  int
+	Frames    int
+	GapFrames uint64
+	Deduped   int
+}
+
+// UploadTrace streams a recorded trace's storage frames through the
+// session in segment chunks. A segment that exhausts its retries becomes a
+// declared gap: the upload completes degraded rather than failing the run
+// or silently shortening it.
+func (c *Client) UploadTrace(ctx context.Context, sessionID string, tr *trace.Trace) (*UploadStats, error) {
+	frames := tr.Frames()
+	stats := &UploadStats{}
+	per := c.segmentFrames()
+	for off := 0; off < len(frames); off += per {
+		end := off + per
+		if end > len(frames) {
+			end = len(frames)
+		}
+		data := framesToBytes(frames[off:end])
+		resp, err := c.PutSegment(ctx, sessionID, uint32(off), data)
+		if err != nil {
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			gap := uint64(end - off)
+			if gerr := c.MarkGap(ctx, sessionID, gap); gerr != nil {
+				return stats, fmt.Errorf("segment at %d undeliverable (%w) and gap declaration failed: %v", off, err, gerr)
+			}
+			stats.GapFrames += gap
+			continue
+		}
+		stats.Segments++
+		stats.Frames += end - off
+		if resp.Dedup {
+			stats.Deduped++
+		}
+	}
+	return stats, nil
+}
+
+// SubmitJob queues a replay/compare/diagnose job.
+func (c *Client) SubmitJob(ctx context.Context, kind, runID, refRunID string) (*Job, error) {
+	var j Job
+	err := c.doJSON(ctx, http.MethodPost, "/v1/jobs",
+		submitJobRequest{Kind: kind, RunID: runID, RefRunID: refRunID}, &j)
+	if err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// WaitJob blocks server-side until the job finishes (or ctx expires).
+func (c *Client) WaitJob(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=1", nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Run fetches a committed run's manifest.
+func (c *Client) Run(ctx context.Context, runID string) (*Manifest, error) {
+	var m Manifest
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/runs/"+runID, nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

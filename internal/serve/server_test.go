@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vidi/internal/eval"
+	"vidi/internal/telemetry"
+	"vidi/internal/trace"
+)
+
+// testFrames builds a valid CRC/sequenced frame stream over arbitrary
+// payload bytes — enough for API tests that never decode a trace.
+func testFrames(t *testing.T, payloadBytes int, salt byte) []byte {
+	t.Helper()
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(i*7) ^ salt
+	}
+	return framesToBytes(trace.FrameStream(payload))
+}
+
+func newTestServer(t *testing.T, limits Limits) (*liveServer, *Client) {
+	t.Helper()
+	ls, err := startLiveServer(t.TempDir(), fastOpts(), limits, nil)
+	if err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(ls.stop)
+	return ls, &Client{BaseURL: ls.url, SegmentFrames: 4}
+}
+
+// recordedTrace caches one real recording for the tests that need a
+// decodable trace (commit accounting, jobs).
+var (
+	recOnce  sync.Once
+	recTrace *trace.Trace
+	recErr   error
+)
+
+func recordedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	recOnce.Do(func() {
+		var res *eval.RunResult
+		res, recErr = eval.Run(eval.RunConfig{App: "dma-irq", Scale: 1, Seed: 42, Cfg: eval.R2})
+		if recErr == nil {
+			recTrace = res.Trace
+		}
+	})
+	if recErr != nil {
+		t.Fatalf("recording: %v", recErr)
+	}
+	return recTrace
+}
+
+func TestServerUploadCommitAndCompare(t *testing.T) {
+	ls, cl := newTestServer(t, Limits{})
+	tr := recordedTrace(t)
+	ctx := context.Background()
+
+	sess, err := cl.OpenSession(ctx, "run-a", RunMeta{Tenant: "acme", App: "dma-irq", Scale: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	up, err := cl.UploadTrace(ctx, sess.SessionID, tr)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if up.GapFrames != 0 || up.Frames != len(tr.Frames()) {
+		t.Fatalf("upload stats: %+v", up)
+	}
+	m, err := cl.Commit(ctx, sess.SessionID)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if !m.Replayable || m.Degraded() {
+		t.Fatalf("clean upload committed wrong: %+v", m)
+	}
+	if m.Transactions != tr.TotalTransactions() {
+		t.Fatalf("manifest transactions %d, trace %d", m.Transactions, tr.TotalTransactions())
+	}
+	if m.BodySHA256 != hashBytes(tr.Bytes()) {
+		t.Fatal("manifest body hash does not match the source trace")
+	}
+
+	// The committed run round-trips through the manifest API.
+	got, err := cl.Run(ctx, "run-a")
+	if err != nil || got.RunID != "run-a" {
+		t.Fatalf("run fetch: %+v %v", got, err)
+	}
+
+	// A compare job of the run against itself is definitionally clean.
+	j, err := cl.SubmitJob(ctx, JobCompare, "run-a", "run-a")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	j, err = cl.WaitJob(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if j.Status != "done" || j.Clean == nil || !*j.Clean {
+		t.Fatalf("self-compare not clean: %+v", j)
+	}
+
+	// /metrics serves parseable Prometheus text with the serve families.
+	resp, err := http.Get(ls.url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	snap, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("metrics parse: %v", err)
+	}
+	if v := snap.Total("vidi_serve_sessions_committed_total"); v != 1 {
+		t.Fatalf("sessions_committed metric = %v, want 1", v)
+	}
+	if v := snap.Total("vidi_serve_frames_total"); v != float64(len(tr.Frames())) {
+		t.Fatalf("frames metric = %v, want %d", v, len(tr.Frames()))
+	}
+}
+
+func TestServerRejectsCorruptAndConflictingSegments(t *testing.T) {
+	_, cl := newTestServer(t, Limits{})
+	ctx := context.Background()
+	sess, err := cl.OpenSession(ctx, "run-b", RunMeta{Tenant: "acme", App: "dma-irq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := testFrames(t, 300, 0)
+
+	expectStatus := func(err error, status int, code string) {
+		t.Helper()
+		var ae *APIError
+		if !asAPI(err, &ae) || ae.Status != status || ae.Code != code {
+			t.Fatalf("want HTTP %d %s, got %v", status, code, err)
+		}
+	}
+
+	// Bit-flipped frame: 422, and nothing reaches the store.
+	bad := append([]byte(nil), seg...)
+	bad[10] ^= 0x40
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 0, bad)
+	expectStatus(err, http.StatusUnprocessableEntity, "corrupt_frame")
+
+	// Mid-frame truncation: 422.
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 0, seg[:len(seg)-17])
+	expectStatus(err, http.StatusUnprocessableEntity, "corrupt_frame")
+
+	// Out-of-order start: 409.
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 2, seg)
+	expectStatus(err, http.StatusConflict, "out_of_order")
+
+	// Clean delivery, then an identical retry dedupes as a 200.
+	if _, err := cl.putSegmentOnce(ctx, sess.SessionID, 0, seg); err != nil {
+		t.Fatalf("clean put: %v", err)
+	}
+	resp, err := cl.putSegmentOnce(ctx, sess.SessionID, 0, seg)
+	if err != nil || !resp.Dedup {
+		t.Fatalf("idempotent retry: %+v %v", resp, err)
+	}
+
+	// Same position, different bytes: 409 conflict.
+	other := testFrames(t, 300, 0x5a)
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 0, other)
+	expectStatus(err, http.StatusConflict, "segment_conflict")
+}
+
+func TestServerAdmissionQuotas(t *testing.T) {
+	_, cl := newTestServer(t, Limits{
+		MaxSessionsPerTenant: 1,
+		MaxOpenSessions:      2,
+		MaxSegmentBytes:      512,
+		MaxRunBytes:          1000,
+	})
+	ctx := context.Background()
+
+	if _, err := cl.OpenSession(ctx, "q1", RunMeta{Tenant: "acme", App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant quota: second session for acme is a 429.
+	_, err := cl.OpenSession(ctx, "q2", RunMeta{Tenant: "acme", App: "a"})
+	var ae *APIError
+	if !asAPI(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Code != "tenant_session_quota" {
+		t.Fatalf("tenant quota: %v", err)
+	}
+	// Server quota: a third tenant when the server cap is 2 is a 503.
+	if _, err := cl.OpenSession(ctx, "q3", RunMeta{Tenant: "bbb", App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.OpenSession(ctx, "q4", RunMeta{Tenant: "ccc", App: "a"})
+	if !asAPI(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "server_sessions_exhausted" {
+		t.Fatalf("server quota: %v", err)
+	}
+
+	// Byte quotas ride on the upload path.
+	sess, err := cl.OpenSession(ctx, "q5", RunMeta{Tenant: "ddd", App: "a"})
+	if err == nil {
+		t.Fatal("expected server quota to also stop q5") // cap is 2
+	}
+	// Free a slot and retry.
+	if err := cl.Abort(ctx, "s-1"); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	sess, err = cl.OpenSession(ctx, "q5", RunMeta{Tenant: "ddd", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testFrames(t, 1000, 0) // > 512 bytes framed
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 0, big)
+	if !asAPI(err, &ae) || ae.Code != "segment_too_large" {
+		t.Fatalf("segment size quota: %v", err)
+	}
+	small := testFrames(t, 200, 0) // 4 frames = 256 bytes
+	if _, err := cl.putSegmentOnce(ctx, sess.SessionID, 0, small); err != nil {
+		t.Fatalf("first small segment: %v", err)
+	}
+	if _, err := cl.putSegmentOnce(ctx, sess.SessionID, 4, reseq(t, small, 4)); err != nil {
+		t.Fatalf("second small segment: %v", err)
+	}
+	// Three 256-byte segments fit the 1000-byte run quota (768); the
+	// fourth would cross it.
+	if _, err := cl.putSegmentOnce(ctx, sess.SessionID, 8, reseq(t, small, 8)); err != nil {
+		t.Fatalf("third small segment: %v", err)
+	}
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 12, reseq(t, small, 12))
+	if !asAPI(err, &ae) || ae.Code != "run_bytes_quota" {
+		t.Fatalf("run byte quota: %v", err)
+	}
+}
+
+// reseq re-stamps a frame stream's sequence numbers starting at first,
+// recomputing CRCs, so quota tests can reuse one payload.
+func reseq(t *testing.T, data []byte, first uint32) []byte {
+	t.Helper()
+	frames, err := framesFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload []byte
+	for i := range frames {
+		_, used, err := trace.CheckFrame("test", &frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, trace.FramePayload(&frames[i], used)...)
+	}
+	out := trace.FrameStream(payload)
+	if first > 0 {
+		// FrameStream numbers from 0; renumber by reframing with a prefix
+		// then dropping it.
+		prefix := make([]byte, int(first)*trace.FramePayloadSize)
+		out = trace.FrameStream(append(prefix, payload...))[first:]
+	}
+	return framesToBytes(out)
+}
+
+func TestServerGapCommitUnreplayable(t *testing.T) {
+	_, cl := newTestServer(t, Limits{})
+	ctx := context.Background()
+	sess, err := cl.OpenSession(ctx, "gappy", RunMeta{Tenant: "acme", App: "dma-irq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := testFrames(t, 300, 0)
+	if _, err := cl.putSegmentOnce(ctx, sess.SessionID, 0, seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MarkGap(ctx, sess.SessionID, 6); err != nil {
+		t.Fatalf("gap: %v", err)
+	}
+	m, err := cl.Commit(ctx, sess.SessionID)
+	if err != nil {
+		t.Fatalf("degraded commit: %v", err)
+	}
+	if !m.Degraded() || m.Replayable || m.UploadGapFrames != 6 {
+		t.Fatalf("gap accounting wrong: %+v", m)
+	}
+	// Replay of a holed stream must be refused at submission.
+	if _, err := cl.SubmitJob(ctx, JobReplay, "gappy", ""); err == nil {
+		t.Fatal("replay accepted for an upload-gapped run")
+	}
+}
+
+func TestServerRequestDeadline(t *testing.T) {
+	ls, cl := newTestServer(t, Limits{RequestTimeout: 50 * time.Millisecond})
+	ctx := context.Background()
+	sess, err := cl.OpenSession(ctx, "slow", RunMeta{Tenant: "acme", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A store stall longer than the request deadline must surface as 504,
+	// not hang the handler: the retrier notices the expired context before
+	// its next attempt.
+	ls.store.FaultFn = func(op string) error {
+		time.Sleep(80 * time.Millisecond)
+		return &stallError{}
+	}
+	_, err = cl.putSegmentOnce(ctx, sess.SessionID, 0, testFrames(t, 100, 0))
+	var ae *APIError
+	if !asAPI(err, &ae) || ae.Status != http.StatusGatewayTimeout {
+		t.Fatalf("want 504 deadline, got %v", err)
+	}
+}
+
+type stallError struct{}
+
+func (*stallError) Error() string { return "stalled" }
+
+func TestServerHealthAndRecoveryEndpoints(t *testing.T) {
+	ls, _ := newTestServer(t, Limits{})
+	for _, path := range []string{"/healthz", "/v1/recovery", "/v1/runs", "/v1/jobs"} {
+		resp, err := http.Get(ls.url + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		ct := resp.Header.Get("Content-Type")
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: content type %q", path, ct)
+		}
+		resp.Body.Close()
+	}
+}

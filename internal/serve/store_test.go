@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vidi/internal/core"
+	"vidi/internal/trace"
+)
+
+// segData builds n frames of deterministic, store-valid bytes (the store
+// verifies lengths and hashes, not trace decodability).
+func segData(n int, salt byte) []byte {
+	out := make([]byte, n*trace.StoragePacketSize)
+	for i := range out {
+		out[i] = byte(i) ^ salt
+	}
+	return out
+}
+
+func fastOpts() StoreOptions {
+	return StoreOptions{
+		MaxRetries:       1,
+		BackoffBase:      100 * time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Millisecond,
+	}
+}
+
+// commitRun writes a two-segment run and commits it, returning the store.
+func commitRun(t *testing.T, root, runID string) *Store {
+	t.Helper()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, runID, RunMeta{Tenant: "t0", App: "dma-irq", Scale: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if _, _, err := w.PutSegment(ctx, segData(4, 0x11), 0); err != nil {
+		t.Fatalf("put 1: %v", err)
+	}
+	if _, _, err := w.PutSegment(ctx, segData(4, 0x22), 4); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if _, err := w.Commit(ctx, TraceStats{Transactions: 9, BodySHA256: "x", Replayable: true}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return st
+}
+
+// segFile locates the single segment file for a content hash.
+func segFile(t *testing.T, root, runID string, data []byte) string {
+	t.Helper()
+	h := hashBytes(data)
+	p := filepath.Join(root, runID, "segs", h[:2], h+".seg")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("segment file missing: %v", err)
+	}
+	return p
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	commitRun(t, root, "r1")
+
+	st, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec.Intact) != 1 || rec.Intact[0] != "r1" || len(rec.Quarantined) != 0 {
+		t.Fatalf("recovery: %s", rec)
+	}
+	frames, m, err := st.ReadFrames(context.Background(), "r1")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(frames) != 8 || m.Frames != 8 || m.Transactions != 9 {
+		t.Fatalf("got %d frames, manifest %+v", len(frames), m)
+	}
+	want := append(segData(4, 0x11), segData(4, 0x22)...)
+	if string(framesToBytes(frames)) != string(want) {
+		t.Fatal("read bytes differ from written bytes")
+	}
+}
+
+// TestRecoveryTornFinalFrame: a crash mid-write leaves an uncommitted
+// segment whose file is not a whole number of frames. Recovery must
+// quarantine exactly that artifact and keep the run resumable on the
+// verified remainder.
+func TestRecoveryTornFinalFrame(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := segData(4, 1)
+	torn := segData(4, 2)
+	if _, _, err := w.PutSegment(ctx, good, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.PutSegment(ctx, torn, 4); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	// Tear the final frame of the second segment.
+	p := segFile(t, root, "r1", torn)
+	if err := os.Truncate(p, int64(len(torn)-trace.StoragePacketSize/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Resumable) != 1 || rec.Resumable[0] != "r1" {
+		t.Fatalf("run not resumable: %s", rec)
+	}
+	if len(rec.Quarantined) != 1 || rec.Quarantined[0].Artifact != hashBytes(torn) {
+		t.Fatalf("expected exactly the torn segment quarantined: %s", rec)
+	}
+	// The quarantined file moved aside; the good one still dedupes.
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("torn segment still in the segment tree")
+	}
+	w2, err := st2.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dedup, err := w2.PutSegment(ctx, good, 0); err != nil || !dedup {
+		t.Fatalf("verified segment should dedup on resume: dedup=%v err=%v", dedup, err)
+	}
+	if _, dedup, err := w2.PutSegment(ctx, torn, 4); err != nil || dedup {
+		t.Fatalf("torn segment must be re-written, not deduped: dedup=%v err=%v", dedup, err)
+	}
+	if _, err := w2.Commit(ctx, TraceStats{Replayable: true}); err != nil {
+		t.Fatalf("commit after resume: %v", err)
+	}
+}
+
+// TestRecoveryDuplicatedSegment: identical content journaled twice (the
+// retry/dedup path) must recover to a single verified segment, not an
+// error.
+func TestRecoveryDuplicatedSegment(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := segData(4, 3)
+	if _, _, err := w.PutSegment(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, dedup, err := w.PutSegment(ctx, data, 4); err != nil || !dedup {
+		t.Fatalf("second identical put should dedup: %v", err)
+	}
+	w.Abort()
+
+	_, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Resumable) != 1 || len(rec.Quarantined) != 0 {
+		t.Fatalf("duplicated segment mishandled: %s", rec)
+	}
+}
+
+// TestRecoveryManifestHashMismatch: a committed manifest whose bytes do
+// not match the journaled commit hash is a damaged run — quarantined
+// whole, never served.
+func TestRecoveryManifestHashMismatch(t *testing.T) {
+	root := t.TempDir()
+	commitRun(t, root, "r1")
+	p := filepath.Join(root, "r1", "manifest.json")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Intact) != 0 {
+		t.Fatalf("damaged manifest still intact: %s", rec)
+	}
+	found := false
+	for _, q := range rec.Quarantined {
+		if q.RunID == "r1" && q.Artifact == "manifest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest damage not quarantined: %s", rec)
+	}
+	if _, ok := st.Manifest("r1"); ok {
+		t.Fatal("quarantined run still serveable")
+	}
+	if _, err := os.Stat(filepath.Join(root, ".quarantine", "r1")); err != nil {
+		t.Fatalf("run not moved to .quarantine: %v", err)
+	}
+}
+
+// TestRecoverySegmentHashMismatch: bit rot inside a committed segment
+// (same length, different bytes) must fail the hash re-verification and
+// quarantine the run.
+func TestRecoverySegmentHashMismatch(t *testing.T) {
+	root := t.TempDir()
+	commitRun(t, root, "r1")
+	p := segFile(t, root, "r1", segData(4, 0x22))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[7] ^= 0x80
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Intact) != 0 {
+		t.Fatalf("rotted segment still intact: %s", rec)
+	}
+	if len(rec.Quarantined) == 0 || rec.Quarantined[0].Reason != "segment content hash mismatch" {
+		t.Fatalf("wrong quarantine reason: %s", rec)
+	}
+}
+
+// TestRecoveryEmptyJournal: a run directory with an empty (or absent)
+// journal recorded nothing durably and is quarantined whole.
+func TestRecoveryEmptyJournal(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"empty-journal", "no-journal"} {
+		if err := os.MkdirAll(filepath.Join(root, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(root, "empty-journal", "journal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Quarantined) != 2 {
+		t.Fatalf("expected both journal-less runs quarantined: %s", rec)
+	}
+	if len(rec.Intact)+len(rec.Resumable) != 0 {
+		t.Fatalf("journal-less runs classified as usable: %s", rec)
+	}
+}
+
+// TestRecoveryTornJournalTail: a half-written final journal line is
+// dropped (reported, tolerated); a damaged line mid-journal condemns the
+// run.
+func TestRecoveryTornJournalTail(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.PutSegment(ctx, segData(2, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	jp := filepath.Join(root, "r1", "journal")
+	jf, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(jf, "0badc0de put deadbeef") // no newline, wrong CRC
+	jf.Close()
+
+	_, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Resumable) != 1 {
+		t.Fatalf("torn tail should leave the run resumable: %s", rec)
+	}
+	foundTail := false
+	for _, q := range rec.Quarantined {
+		if q.Artifact == "journal" && q.Reason == "torn tail line dropped" {
+			foundTail = true
+		}
+	}
+	if !foundTail {
+		t.Fatalf("torn tail not reported: %s", rec)
+	}
+
+	// Now corrupt a *middle* line: the journal can no longer be trusted.
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0x04 // inside the first line's CRC field
+	if err := os.WriteFile(jp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Resumable) != 0 || len(rec2.Quarantined) == 0 {
+		t.Fatalf("mid-journal damage must condemn the run: %s", rec2)
+	}
+}
+
+// TestReadFramesQuarantinesCorruption: corruption discovered at read time
+// (after a clean recovery) returns a typed error wrapping trace.ErrCorrupt
+// and takes the run out of service.
+func TestReadFramesQuarantinesCorruption(t *testing.T) {
+	root := t.TempDir()
+	st := commitRun(t, root, "r1")
+	p := segFile(t, root, "r1", segData(4, 0x11))
+	if err := os.WriteFile(p, segData(4, 0x33), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := st.ReadFrames(context.Background(), "r1")
+	if err == nil {
+		t.Fatal("corrupt read returned no error")
+	}
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("read error does not wrap trace.ErrCorrupt: %v", err)
+	}
+	var ce *CorruptRunError
+	if !errors.As(err, &ce) || ce.RunID != "r1" {
+		t.Fatalf("not a typed CorruptRunError: %v", err)
+	}
+	if _, ok := st.Manifest("r1"); ok {
+		t.Fatal("corrupt run still serveable after detection")
+	}
+}
+
+// TestStoreFaultEscalation: sustained write faults exhaust retries, wrap
+// core.ErrStoreFault, open the breaker (fast shedding), and heal through
+// the half-open probe.
+func TestStoreFaultEscalation(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := true
+	st.FaultFn = func(op string) error {
+		if down {
+			return fmt.Errorf("injected fault during %s", op)
+		}
+		return nil
+	}
+
+	var last error
+	for i := 0; i < 3; i++ {
+		_, _, last = w.PutSegment(ctx, segData(2, byte(i)), uint32(2*i))
+		if last == nil {
+			t.Fatal("write succeeded during total outage")
+		}
+	}
+	if !errors.Is(last, core.ErrStoreFault) {
+		t.Fatalf("exhausted retries do not wrap core.ErrStoreFault: %v", last)
+	}
+	var sfe *StoreFaultError
+	if !errors.As(last, &sfe) {
+		t.Fatalf("not a typed StoreFaultError: %v", last)
+	}
+	if st.Breaker().State() != 1 {
+		t.Fatalf("breaker not open after %d consecutive failures", 3)
+	}
+	// Open breaker sheds without attempting.
+	_, _, err = w.PutSegment(ctx, segData(2, 9), 8)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker did not shed: %v", err)
+	}
+	// Heal, wait out the cooldown: the probe closes the breaker.
+	down = false
+	time.Sleep(15 * time.Millisecond)
+	if _, _, err := w.PutSegment(ctx, segData(2, 0), 0); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if st.Breaker().State() != 0 {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+// TestBeginConflicts: committed runs, active writers and metadata
+// mismatches on resume are all refused.
+func TestBeginConflicts(t *testing.T) {
+	root := t.TempDir()
+	st := commitRun(t, root, "r1")
+	ctx := context.Background()
+	if _, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0"}); err == nil {
+		t.Fatal("Begin on a committed run succeeded")
+	}
+	if _, err := st.Begin(ctx, "../evil", RunMeta{Tenant: "t0"}); err == nil {
+		t.Fatal("path-traversal run id accepted")
+	}
+	w, err := st.Begin(ctx, "r2", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Begin(ctx, "r2", RunMeta{Tenant: "t0", App: "a"}); err == nil {
+		t.Fatal("second concurrent writer accepted")
+	}
+	w.Abort()
+	if _, err := st.Begin(ctx, "r2", RunMeta{Tenant: "other", App: "a"}); err == nil {
+		t.Fatal("resume with mismatched metadata accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vidi/internal/telemetry"
+)
+
+// Serve-side metrics. The telemetry registry's metric shards are
+// single-writer by contract (the simulation loop owns them); an HTTP
+// server is anything but single-writer. The bridge is the mirror pattern:
+// handlers bump plain atomics, and an OnGather flusher — the only writer
+// the shards ever see — folds the accumulated deltas into the registry at
+// scrape time. Gauges are computed fresh in the flusher from callbacks.
+type metrics struct {
+	sink *telemetry.Sink
+
+	flushMu sync.Mutex // serializes flush (concurrent Gathers) and lazy registration
+
+	sessionsOpened    mirror
+	sessionsResumed   mirror
+	sessionsCommitted mirror
+	sessionsAborted   mirror
+	segments          mirror
+	segmentsDeduped   mirror
+	frames            mirror
+	bytes             mirror
+	gapFrames         mirror
+	corruptFrames     mirror
+	storeFaults       mirror
+	breakerShed       mirror
+	admissionRejects  mirror
+	jobsDone          mirror
+	jobsFailed        mirror
+	divergences       mirror
+	unrecorded        mirror
+	quarantined       mirror
+
+	httpByCode map[string]*mirror // "2xx"... keyed by class; under flushMu
+
+	// gauge callbacks, read in the flusher
+	openSessions func() float64
+	breakerState func() float64
+	queuedJobs   func() float64
+
+	gSessions *telemetry.Gauge
+	gBreaker  *telemetry.Gauge
+	gQueued   *telemetry.Gauge
+}
+
+// mirror pairs a handler-side atomic with its registry counter; flush
+// folds the delta so the registry shard stays single-writer.
+type mirror struct {
+	v    atomic.Uint64
+	last uint64 // under metrics.flushMu
+	c    *telemetry.Counter
+}
+
+func (m *mirror) flush() {
+	cur := m.v.Load()
+	if d := cur - m.last; d > 0 {
+		m.c.Add(d)
+	}
+	m.last = cur
+}
+
+func newMetrics(sink *telemetry.Sink) *metrics {
+	m := &metrics{sink: sink, httpByCode: map[string]*mirror{}}
+	reg := func(mr *mirror, name, help string) {
+		mr.c = sink.Counter(name, help)
+	}
+	reg(&m.sessionsOpened, "vidi_serve_sessions_opened_total", "Recording sessions opened.")
+	reg(&m.sessionsResumed, "vidi_serve_sessions_resumed_total", "Sessions re-opened against a recovered partial run.")
+	reg(&m.sessionsCommitted, "vidi_serve_sessions_committed_total", "Sessions committed with a verified manifest.")
+	reg(&m.sessionsAborted, "vidi_serve_sessions_aborted_total", "Sessions aborted or expired before commit.")
+	reg(&m.segments, "vidi_serve_segments_total", "Segments accepted into the trace store.")
+	reg(&m.segmentsDeduped, "vidi_serve_segments_dedup_total", "Segment uploads satisfied by content-addressed dedup.")
+	reg(&m.frames, "vidi_serve_frames_total", "Storage frames accepted.")
+	reg(&m.bytes, "vidi_serve_bytes_total", "Frame bytes accepted.")
+	reg(&m.gapFrames, "vidi_serve_upload_gap_frames_total", "Frames clients declared lost in transit.")
+	reg(&m.corruptFrames, "vidi_serve_corrupt_frames_total", "Uploaded frames rejected by CRC or sequence checks.")
+	reg(&m.storeFaults, "vidi_serve_store_faults_total", "Store writes that exhausted their retry budget.")
+	reg(&m.breakerShed, "vidi_serve_breaker_shed_total", "Writes shed fast by the open circuit breaker.")
+	reg(&m.admissionRejects, "vidi_serve_admission_rejects_total", "Requests rejected by admission control quotas.")
+	reg(&m.jobsDone, "vidi_serve_jobs_completed_total", "Replay/compare/diagnose jobs completed.")
+	reg(&m.jobsFailed, "vidi_serve_jobs_failed_total", "Jobs that ended in error.")
+	reg(&m.divergences, "vidi_serve_divergences_total", "Divergences reported by replay jobs.")
+	reg(&m.unrecorded, "vidi_serve_unrecorded_total", "Unrecorded (degraded-gap) transactions reported by replay jobs.")
+	reg(&m.quarantined, "vidi_serve_quarantined_total", "Artifacts quarantined by recovery or read verification.")
+	m.gSessions = sink.Gauge("vidi_serve_sessions_open", "Currently open recording sessions.")
+	m.gBreaker = sink.Gauge("vidi_serve_breaker_state", "Store breaker state: 0 closed, 0.5 half-open, 1 open.")
+	m.gQueued = sink.Gauge("vidi_serve_jobs_queued", "Jobs waiting for a worker.")
+	sink.OnGather(m.flush)
+	return m
+}
+
+// httpCode counts one response by status class ("2xx".."5xx").
+func (m *metrics) httpCode(status int) {
+	class := "other"
+	if status >= 100 && status < 600 {
+		class = string(rune('0'+status/100)) + "xx"
+	}
+	m.flushMu.Lock()
+	mr, ok := m.httpByCode[class]
+	if !ok {
+		mr = &mirror{c: m.sink.Counter("vidi_serve_http_responses_total",
+			"HTTP responses by status class.", telemetry.L("class", class))}
+		m.httpByCode[class] = mr
+	}
+	m.flushMu.Unlock()
+	mr.v.Add(1)
+}
+
+// flush runs at Gather time: fold counter deltas, refresh gauges.
+func (m *metrics) flush() {
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+	for _, mr := range []*mirror{
+		&m.sessionsOpened, &m.sessionsResumed, &m.sessionsCommitted,
+		&m.sessionsAborted, &m.segments, &m.segmentsDeduped, &m.frames,
+		&m.bytes, &m.gapFrames, &m.corruptFrames, &m.storeFaults,
+		&m.breakerShed, &m.admissionRejects, &m.jobsDone, &m.jobsFailed,
+		&m.divergences, &m.unrecorded, &m.quarantined,
+	} {
+		mr.flush()
+	}
+	classes := make([]string, 0, len(m.httpByCode))
+	for c := range m.httpByCode {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		m.httpByCode[c].flush()
+	}
+	if m.openSessions != nil {
+		m.gSessions.Set(m.openSessions())
+	}
+	if m.breakerState != nil {
+		m.gBreaker.Set(m.breakerState())
+	}
+	if m.queuedJobs != nil {
+		m.gQueued.Set(m.queuedJobs())
+	}
+}

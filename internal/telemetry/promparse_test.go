@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRoundTrip gathers a mixed registry, writes the text
+// exposition, parses it back, and demands the snapshot survives: same
+// family names/kinds, same folded values, same histogram buckets.
+func TestPrometheusRoundTrip(t *testing.T) {
+	sink := New(WithConstLabels(L("app", "sssp")))
+	c := sink.Counter("vidi_rt_events_total", "Events with a \"quoted\" label.", L("kind", "link-brownout"))
+	c.Add(41)
+	c.Inc()
+	g := sink.Gauge("vidi_rt_depth", "Queue depth.")
+	g.Set(3.5)
+	h := sink.Histogram("vidi_rt_latency_cycles", "Latency.", ExpBuckets(1, 4, 3))
+	for _, v := range []float64{0.5, 2, 2, 9, 100} {
+		h.Observe(v)
+	}
+
+	want := sink.Gather()
+	var buf bytes.Buffer
+	if err := want.WritePrometheus(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v\ntext:\n%s", err, buf.String())
+	}
+
+	if len(got.Families) != len(want.Families) {
+		t.Fatalf("family count: got %d, want %d", len(got.Families), len(want.Families))
+	}
+	for i, wf := range want.Families {
+		gf := got.Families[i]
+		if gf.Name != wf.Name || gf.Kind != wf.Kind {
+			t.Errorf("family %d: got %s/%s, want %s/%s", i, gf.Name, gf.Kind, wf.Name, wf.Kind)
+		}
+	}
+	if v := got.Total("vidi_rt_events_total"); v != 42 {
+		t.Errorf("counter total: got %v, want 42", v)
+	}
+	if v := got.Total("vidi_rt_depth"); v != 3.5 {
+		t.Errorf("gauge total: got %v, want 3.5", v)
+	}
+	cf := got.Family("vidi_rt_events_total")
+	if cf == nil || len(cf.Series) != 1 {
+		t.Fatalf("counter family missing or wrong arity: %+v", cf)
+	}
+	wantLabels := map[string]string{"app": "sssp", "kind": "link-brownout"}
+	if !reflect.DeepEqual(cf.Series[0].Labels, wantLabels) {
+		t.Errorf("labels: got %v, want %v", cf.Series[0].Labels, wantLabels)
+	}
+
+	hf := got.Family("vidi_rt_latency_cycles")
+	whf := want.Family("vidi_rt_latency_cycles")
+	if hf == nil || len(hf.Series) != 1 {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	gs, ws := hf.Series[0], whf.Series[0]
+	if gs.Count != ws.Count || gs.Sum != ws.Sum {
+		t.Errorf("histogram sum/count: got %v/%d, want %v/%d", gs.Sum, gs.Count, ws.Sum, ws.Count)
+	}
+	if !reflect.DeepEqual(gs.Buckets, ws.Buckets) {
+		t.Errorf("histogram buckets: got %v, want %v", gs.Buckets, ws.Buckets)
+	}
+}
+
+// TestParsePrometheusForeign exercises latitude the exposition format
+// allows but our writer never emits: no HELP, untyped samples, timestamps,
+// blank and comment lines.
+func TestParsePrometheusForeign(t *testing.T) {
+	text := strings.Join([]string{
+		"# a bare comment",
+		"",
+		"up 1",
+		"requests_total{code=\"200\"} 7 1712000000000",
+		"requests_total{code=\"500\"} 1",
+	}, "\n")
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v := snap.Total("up"); v != 1 {
+		t.Errorf("up: got %v", v)
+	}
+	if v := snap.Total("requests_total"); v != 8 {
+		t.Errorf("requests_total: got %v", v)
+	}
+}
+
+// TestParsePrometheusCorrupt demands typed errors, not panics, on mangled
+// input.
+func TestParsePrometheusCorrupt(t *testing.T) {
+	for _, bad := range []string{
+		"name{k=\"unterminated} 1",
+		"name{k=unquoted} 1",
+		"lonelyname",
+		"name notanumber",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

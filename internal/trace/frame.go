@@ -75,6 +75,29 @@ func FrameStream(body []byte) [][StoragePacketSize]byte {
 	return out
 }
 
+// CheckFrame verifies one storage frame in isolation — CRC over header and
+// payload, plausible payload length — and returns its sequence number and
+// payload size. site names the frame in the typed *CorruptError (e.g.
+// "frame 12"). Sequence continuity is the caller's concern: a streaming
+// receiver (vidi-serve ingest) checks each arriving frame against its own
+// expected sequence, while DeframeStream checks a complete stream.
+func CheckFrame(site string, f *[StoragePacketSize]byte) (seq uint32, used int, err error) {
+	if got, want := frameCRC(f), getU32(f[6:10]); got != want {
+		return 0, 0, corruptf(site, "CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	used = int(getU16(f[4:6]))
+	if used > FramePayloadSize {
+		return 0, 0, corruptf(site, "implausible payload length %d", used)
+	}
+	return getU32(f[0:4]), used, nil
+}
+
+// FramePayload returns the used payload bytes of a verified frame. The
+// slice aliases the frame array.
+func FramePayload(f *[StoragePacketSize]byte, used int) []byte {
+	return f[frameHeaderSize : frameHeaderSize+used]
+}
+
 // DeframeStream reassembles a trace byte stream from storage frames,
 // verifying per-frame CRCs and sequence continuity. Corruption, reordering
 // and mid-stream loss all yield a typed *CorruptError.
@@ -82,20 +105,18 @@ func DeframeStream(frames [][StoragePacketSize]byte) ([]byte, error) {
 	var out []byte
 	for i := range frames {
 		f := &frames[i]
-		if got, want := frameCRC(f), getU32(f[6:10]); got != want {
-			return nil, corruptf(fmt.Sprintf("frame %d", i), "CRC mismatch (stored %08x, computed %08x)", want, got)
+		site := fmt.Sprintf("frame %d", i)
+		seq, used, err := CheckFrame(site, f)
+		if err != nil {
+			return nil, err
 		}
-		if seq := getU32(f[0:4]); seq != uint32(i) {
-			return nil, corruptf(fmt.Sprintf("frame %d", i), "sequence %d (frame lost or reordered)", seq)
-		}
-		used := int(getU16(f[4:6]))
-		if used > FramePayloadSize {
-			return nil, corruptf(fmt.Sprintf("frame %d", i), "implausible payload length %d", used)
+		if seq != uint32(i) {
+			return nil, corruptf(site, "sequence %d (frame lost or reordered)", seq)
 		}
 		if i < len(frames)-1 && used != FramePayloadSize {
-			return nil, corruptf(fmt.Sprintf("frame %d", i), "short frame mid-stream (%d bytes)", used)
+			return nil, corruptf(site, "short frame mid-stream (%d bytes)", used)
 		}
-		out = append(out, f[frameHeaderSize:frameHeaderSize+used]...)
+		out = append(out, FramePayload(f, used)...)
 	}
 	return out, nil
 }
