@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -78,6 +79,16 @@ func newJobPool(store *Store, limits Limits, met *metrics) *jobPool {
 func (p *jobPool) close() {
 	p.cancel()
 	p.wg.Wait()
+	// Workers are gone; anything still queued would otherwise stay
+	// "queued" forever and leave wait() callers blocked to their deadline.
+	for {
+		select {
+		case j := <-p.queue:
+			p.finish(j, errors.New("serve: server shutting down"))
+		default:
+			return
+		}
+	}
 }
 
 func (p *jobPool) queued() int { return len(p.queue) }
@@ -91,8 +102,12 @@ func (p *jobPool) submit(kind, runID, refRunID string) (*Job, error) {
 		if refRunID == "" {
 			return nil, fmt.Errorf("serve: compare job needs ref_run_id")
 		}
-		if _, ok := p.store.Manifest(refRunID); !ok {
+		refM, ok := p.store.Manifest(refRunID)
+		if !ok {
 			return nil, fmt.Errorf("serve: unknown reference run %s", refRunID)
+		}
+		if !refM.Replayable {
+			return nil, fmt.Errorf("serve: reference run %s is not replayable (degraded upload)", refRunID)
 		}
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", kind)
@@ -101,7 +116,10 @@ func (p *jobPool) submit(kind, runID, refRunID string) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown run %s", runID)
 	}
-	if (kind == JobReplay || kind == JobDiagnose) && !m.Replayable {
+	// Every job kind decodes the run's frame stream, so an upload-gapped
+	// (non-replayable) run is rejected up front for all of them — honest
+	// degradation must never surface as a corruption-flavored job failure.
+	if !m.Replayable {
 		return nil, fmt.Errorf("serve: run %s is not replayable (degraded upload)", runID)
 	}
 
@@ -226,20 +244,31 @@ func (p *jobPool) finish(j *Job, err error) {
 func (p *jobPool) loadTrace(ctx context.Context, runID string) (*trace.Trace, *Manifest, error) {
 	frames, m, err := p.store.ReadFrames(ctx, runID)
 	if err != nil {
-		p.met.quarantined.v.Add(1)
+		p.noteIfCorrupt(err)
 		return nil, nil, err
 	}
 	tr, err := trace.FromFrames(frames)
 	if err != nil {
-		p.met.quarantined.v.Add(1)
+		err = &CorruptRunError{RunID: runID, Artifact: "stream", Reason: err.Error()}
+		p.noteIfCorrupt(err)
 		return nil, nil, err
 	}
 	if h := hashBytes(tr.Bytes()); h != m.BodySHA256 {
-		p.met.quarantined.v.Add(1)
-		return nil, nil, &CorruptRunError{RunID: runID, Artifact: "body",
+		err = &CorruptRunError{RunID: runID, Artifact: "body",
 			Reason: "decoded body hash does not match manifest"}
+		p.noteIfCorrupt(err)
+		return nil, nil, err
 	}
 	return tr, m, nil
+}
+
+// noteIfCorrupt counts the quarantined metric only for verified corruption;
+// transient read faults and deadlines pass through without it.
+func (p *jobPool) noteIfCorrupt(err error) {
+	var cre *CorruptRunError
+	if errors.As(err, &cre) {
+		p.met.quarantined.v.Add(1)
+	}
 }
 
 func (p *jobPool) run(ctx context.Context, j *Job) error {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -236,8 +237,9 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_request", "body does not parse: "+err.Error())
 		return
 	}
-	if req.Tenant == "" || req.App == "" || !validRunID(req.RunID) {
-		writeErr(w, http.StatusBadRequest, "bad_request", "run_id, tenant and app are required (run_id must be path-safe)")
+	if !validLabel(req.Tenant) || !validLabel(req.App) || !validRunID(req.RunID) {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			"run_id, tenant and app are required (path-safe, printable, no whitespace)")
 		return
 	}
 	if err := s.adm.acquireSession(req.Tenant); err != nil {
@@ -427,6 +429,11 @@ func (s *Server) handleGap(w http.ResponseWriter, r *http.Request) {
 	defer se.mu.Unlock()
 	if se.gone {
 		writeErr(w, http.StatusNotFound, "no_session", "session is closed")
+		return
+	}
+	if req.Frames > math.MaxUint32-uint64(se.nextSeq) {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("gap of %d frames overflows the run's 32-bit sequence space", req.Frames))
 		return
 	}
 	if err := se.w.MarkGap(r.Context(), req.Frames); err != nil {

@@ -328,3 +328,109 @@ func TestServerHealthAndRecoveryEndpoints(t *testing.T) {
 		resp.Body.Close()
 	}
 }
+
+// TestServerRejectsHostileTenantApp: tenant/app values that would collide
+// with journal framing (whitespace, control bytes, empties) are 400s at
+// the API boundary — they never reach the store.
+func TestServerRejectsHostileTenantApp(t *testing.T) {
+	_, cl := newTestServer(t, Limits{})
+	ctx := context.Background()
+	for _, meta := range []RunMeta{
+		{Tenant: "a b", App: "ok"},
+		{Tenant: "evil\ntenant", App: "ok"},
+		{Tenant: "ok", App: "dma irq"},
+		{Tenant: "", App: "ok"},
+		{Tenant: strings.Repeat("x", 200), App: "ok"},
+	} {
+		_, err := cl.OpenSession(ctx, "hostile", meta)
+		var ae *APIError
+		if !asAPI(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != "bad_request" {
+			t.Fatalf("meta %+q: want 400 bad_request, got %v", meta, err)
+		}
+	}
+	// The safe charset itself still works.
+	if _, err := cl.OpenSession(ctx, "fine", RunMeta{Tenant: "org/team-1:us@prod+a", App: "dma-irq"}); err != nil {
+		t.Fatalf("safe tenant refused: %v", err)
+	}
+}
+
+// TestServerGapOverflowRejected: a gap declaration that would wrap the
+// session's 32-bit sequence counter is a 400; the session survives and
+// sane gaps still work.
+func TestServerGapOverflowRejected(t *testing.T) {
+	_, cl := newTestServer(t, Limits{})
+	ctx := context.Background()
+	sess, err := cl.OpenSession(ctx, "wrapy", RunMeta{Tenant: "acme", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frames := range []uint64{1 << 32, 1<<64 - 1} {
+		err := cl.MarkGap(ctx, sess.SessionID, frames)
+		var ae *APIError
+		if !asAPI(err, &ae) || ae.Status != http.StatusBadRequest {
+			t.Fatalf("gap of %d: want 400, got %v", frames, err)
+		}
+	}
+	if err := cl.MarkGap(ctx, sess.SessionID, 8); err != nil {
+		t.Fatalf("sane gap after rejected overflow: %v", err)
+	}
+}
+
+// TestJobPoolCloseDrainsQueuedJobs: jobs still queued at shutdown are
+// failed (done channel closed) instead of staying "queued" forever and
+// hanging wait() callers.
+func TestJobPoolCloseDrainsQueuedJobs(t *testing.T) {
+	st := commitRun(t, t.TempDir(), "rq")
+	p := newJobPool(st, Limits{}, newMetrics(telemetry.New()))
+	// Stop the workers first so submissions stay in the queue.
+	p.cancel()
+	p.wg.Wait()
+	j, err := p.submit(JobReplay, "rq", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.close()
+	got, err := p.wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatalf("wait after close: %v", err)
+	}
+	if got.Status != "failed" || !strings.Contains(got.Error, "shutting down") {
+		t.Fatalf("queued job not failed at shutdown: %+v", got)
+	}
+}
+
+// TestCompareRejectsUnreplayableRun: compare jobs need both streams to
+// decode, so an upload-gapped run is refused at submission on either side
+// — honest degradation must not surface later as a corruption-flavored
+// failure.
+func TestCompareRejectsUnreplayableRun(t *testing.T) {
+	root := t.TempDir()
+	st := commitRun(t, root, "good")
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "gapped", RunMeta{Tenant: "t0", App: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.PutSegment(ctx, segData(2, 0x44), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MarkGap(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(ctx, TraceStats{}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := newJobPool(st, Limits{}, newMetrics(telemetry.New()))
+	defer p.close()
+	if _, err := p.submit(JobCompare, "gapped", "good"); err == nil {
+		t.Fatal("compare accepted an unreplayable target run")
+	}
+	if _, err := p.submit(JobCompare, "good", "gapped"); err == nil {
+		t.Fatal("compare accepted an unreplayable reference run")
+	}
+	quarantinedBefore := p.met.quarantined.v.Load()
+	if quarantinedBefore != 0 {
+		t.Fatalf("rejections counted as quarantines: %d", quarantinedBefore)
+	}
+}

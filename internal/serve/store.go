@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -249,6 +250,23 @@ func validRunID(id string) bool {
 	return true
 }
 
+// validLabel restricts tenant/app names to a printable, whitespace-free
+// charset so they journal and log without framing ambiguity.
+func validLabel(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case strings.ContainsRune("-_.:@/+", c):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func hashBytes(b []byte) string {
 	h := sha256.Sum256(b)
 	return hex.EncodeToString(h[:])
@@ -259,13 +277,54 @@ func hashBytes(b []byte) string {
 // journal line: "<crc32:08x> <op> <args...>", CRC over everything after
 // the separating space. A torn tail (partial line, missing newline, or
 // CRC mismatch on the final line) is dropped by recovery; a damaged line
-// anywhere else condemns the journal.
+// anywhere else condemns the journal. Args are percent-escaped so the
+// space-separated, line-framed format survives any argument bytes.
 func journalLine(op string, args ...string) string {
 	rest := op
-	if len(args) > 0 {
-		rest += " " + strings.Join(args, " ")
+	for _, a := range args {
+		rest += " " + escapeArg(a)
 	}
 	return fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE([]byte(rest)), rest)
+}
+
+// escapeArg percent-encodes '%', whitespace, and control bytes so a
+// journal argument can never shift fields or split lines; the bare
+// sentinel "%" stands for an empty argument. Safe strings (hashes,
+// numbers, plain names) round-trip unchanged.
+func escapeArg(s string) string {
+	if s == "" {
+		return "%"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '%' || c <= ' ' || c == 0x7f {
+			fmt.Fprintf(&b, "%%%02x", c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func unescapeArg(s string) string {
+	if s == "%" {
+		return ""
+	}
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			if v, err := strconv.ParseUint(s[i+1:i+3], 16, 8); err == nil {
+				b.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
 }
 
 type journalRec struct {
@@ -289,7 +348,7 @@ func parseJournal(data []byte) ([]journalRec, bool, error) {
 	for i, line := range lines {
 		bad := ""
 		switch {
-		case len(line) < 10 || line[8] != ' ':
+		case len(line) < 10 || line[8] != ' ' || strings.TrimSpace(line[9:]) == "":
 			bad = "malformed line"
 		default:
 			crcv, err := strconv.ParseUint(line[:8], 16, 32)
@@ -304,7 +363,11 @@ func parseJournal(data []byte) ([]journalRec, bool, error) {
 			return nil, false, fmt.Errorf("journal line %d: %s", i+1, bad)
 		}
 		fields := strings.Fields(line[9:])
-		recs = append(recs, journalRec{op: fields[0], args: fields[1:]})
+		args := make([]string, len(fields)-1)
+		for k, f := range fields[1:] {
+			args[k] = unescapeArg(f)
+		}
+		recs = append(recs, journalRec{op: fields[0], args: args})
 	}
 	// A final line that lost its newline but still checksums is the
 	// moment before the fsync landed; it is intact, keep it.
@@ -506,7 +569,14 @@ func (st *Store) readSegments(ctx context.Context, runID string, refs []SegmentR
 		}
 		data, err := os.ReadFile(st.segPath(runID, ref.Hash))
 		if err != nil {
-			return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash, Reason: err.Error()}
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash,
+					Reason: "segment file missing: " + err.Error()}
+			}
+			// A read failure that is not verified damage (fd exhaustion, a
+			// momentary I/O error) must stay retryable: it is the caller's
+			// 503, never grounds to quarantine an intact committed run.
+			return nil, &StoreFaultError{Op: "segment read", Err: err}
 		}
 		if len(data) != ref.Bytes {
 			return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash,

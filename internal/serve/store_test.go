@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -439,5 +440,124 @@ func TestBeginConflicts(t *testing.T) {
 	w.Abort()
 	if _, err := st.Begin(ctx, "r2", RunMeta{Tenant: "other", App: "a"}); err == nil {
 		t.Fatal("resume with mismatched metadata accepted")
+	}
+}
+
+// TestJournalEscapesHostileMetaArgs: tenant/app bytes that collide with
+// the journal's framing (spaces, newlines, '%', empty strings) must not
+// shift fields or split lines — the run stays resumable with its exact
+// metadata across a restart, and the journal is never condemned.
+func TestJournalEscapesHostileMetaArgs(t *testing.T) {
+	for i, meta := range []RunMeta{
+		{Tenant: "a b", App: "x\ny%z", Scale: 2, Seed: 9},
+		{Tenant: "", App: "tail \r\n", Scale: 1, Seed: -3},
+		{Tenant: "%", App: "%%25", Scale: 0, Seed: 0},
+	} {
+		root := t.TempDir()
+		st, _, err := OpenStore(root, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		runID := fmt.Sprintf("r%d", i)
+		w, err := st.Begin(ctx, runID, meta)
+		if err != nil {
+			t.Fatalf("begin %+q: %v", meta, err)
+		}
+		if _, _, err := w.PutSegment(ctx, segData(2, byte(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+		w.Abort()
+
+		st2, rec, err := OpenStore(root, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Quarantined) != 0 || len(rec.Resumable) != 1 {
+			t.Fatalf("meta %+q damaged the journal: %s", meta, rec)
+		}
+		// Resume with the identical metadata must succeed (fields intact)...
+		w2, err := st2.Begin(ctx, runID, meta)
+		if err != nil {
+			t.Fatalf("resume with original meta %+q refused: %v", meta, err)
+		}
+		w2.Abort()
+		// ...and a different tenant must still be detected as a mismatch.
+		if _, err := st2.Begin(ctx, runID, RunMeta{Tenant: "other", App: meta.App, Scale: meta.Scale, Seed: meta.Seed}); err == nil {
+			t.Fatalf("meta %+q: mismatched resume accepted", meta)
+		}
+	}
+}
+
+// TestEscapeArgRoundTrip pins the journal argument encoding.
+func TestEscapeArgRoundTrip(t *testing.T) {
+	for _, s := range []string{"", " ", "%", "plain", "a b\tc", "nl\nend", "%20", "100% done", string([]byte{0, 1, 0x7f})} {
+		esc := escapeArg(s)
+		if strings.ContainsAny(esc, " \t\n\r") || esc == "" {
+			t.Fatalf("escapeArg(%q) = %q still carries framing bytes", s, esc)
+		}
+		if got := unescapeArg(esc); got != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, esc, got)
+		}
+	}
+}
+
+// TestReadFramesTransientErrorIsRetryable: a read failure that is not
+// verified damage (here: the segment path turned into a directory, standing
+// in for EMFILE/EIO) must surface as a retryable store fault and leave the
+// intact committed run in service; a *missing* segment is real corruption
+// and quarantines.
+func TestReadFramesTransientErrorIsRetryable(t *testing.T) {
+	root := t.TempDir()
+	st := commitRun(t, root, "r1")
+	ctx := context.Background()
+	p := segFile(t, root, "r1", segData(4, 0x11))
+
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(p, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := st.ReadFrames(ctx, "r1")
+	if err == nil {
+		t.Fatal("unreadable segment returned no error")
+	}
+	var sfe *StoreFaultError
+	if !errors.As(err, &sfe) {
+		t.Fatalf("transient read error is not a StoreFaultError: %v", err)
+	}
+	var cre *CorruptRunError
+	if errors.As(err, &cre) {
+		t.Fatalf("transient read error misreported as corruption: %v", err)
+	}
+	if _, ok := st.Manifest("r1"); !ok {
+		t.Fatal("transient read error took the run out of service")
+	}
+	if _, err := os.Stat(filepath.Join(root, "r1", "manifest.json")); err != nil {
+		t.Fatalf("transient read error moved the run on disk: %v", err)
+	}
+
+	// Heal the fault: the same run serves again without intervention.
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, segData(4, 0x11), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.ReadFrames(ctx, "r1"); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+
+	// A missing segment is verified damage: typed corruption + quarantine.
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.ReadFrames(ctx, "r1")
+	if !errors.As(err, &cre) || !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("missing segment not reported as corruption: %v", err)
+	}
+	if _, ok := st.Manifest("r1"); ok {
+		t.Fatal("run with missing segment still serveable")
 	}
 }
