@@ -80,7 +80,7 @@ ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-s
 # trajectory is tracked across PRs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/vidi-bench -table kernel -reps 2 -json BENCH_kernel.json -metrics BENCH_metrics.json
+	$(GO) run ./cmd/vidi-bench -table kernel -reps 2 -workers 1,2 -baseline BENCH_kernel.json -json BENCH_kernel.json -metrics BENCH_metrics.json
 
 # Formatted paper-vs-measured tables (Table 1/2, Fig 7, §5.4, §6, sizes).
 tables:

@@ -11,6 +11,8 @@
 //	vidi-bench -table bandwidth      # §6 back-of-the-envelope analysis
 //	vidi-bench -table faults         # fault-injection resilience matrix
 //	vidi-bench -table kernel         # simulation-kernel throughput (legacy vs scheduler)
+//	vidi-bench -table kernel -workers 1,2,4            # worker-pool sweep per app
+//	vidi-bench -table kernel -baseline BENCH_kernel.json   # fail on >10% speedup regression
 //	vidi-bench -table kernel -json BENCH_kernel.json   # + machine-readable artifact
 //	vidi-bench -table kernel -metrics BENCH_metrics.json   # + merged telemetry snapshot
 //	vidi-bench -all
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"vidi/internal/cliutil"
@@ -53,6 +56,8 @@ func main() {
 	seed := flag.Int64("seed", 1000, "base seed")
 	verbose := flag.Bool("v", false, "print per-run simulation-kernel scheduler counters")
 	jsonOut := flag.String("json", "", "with -table kernel: also write the rows to this JSON file")
+	workersCSV := flag.String("workers", "1,2", "with -table kernel: comma-separated scheduler worker-pool sizes to sweep")
+	baseline := flag.String("baseline", "", "with -table kernel: committed BENCH_kernel.json to gate against (fail if any app's speedup drops >10% below it)")
 	tel := cliutil.AddTelemetryFlags()
 	flag.Parse()
 
@@ -120,12 +125,40 @@ func main() {
 	if *all || *table == "kernel" {
 		ran = true
 		fmt.Println("== Simulation-kernel throughput: legacy fixpoint vs sensitivity scheduler ==")
+		var workers []int
+		for _, f := range strings.Split(*workersCSV, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			w, err := strconv.Atoi(f)
+			if err != nil || w < 1 {
+				fail(fmt.Errorf("-workers: %q is not a positive worker count", f))
+			}
+			workers = append(workers, w)
+		}
+		// The baseline loads before the run so -json may safely overwrite the
+		// committed artifact with the fresh rows afterwards.
+		var base map[string]eval.KernelBenchRow
+		if *baseline != "" {
+			var err error
+			if base, err = eval.LoadKernelBenchJSON(*baseline); err != nil {
+				fail(err)
+			}
+		}
 		apps := append(eval.DefaultTableApps(), "dma-irq", "stress")
-		rows, stats, snap, err := eval.KernelBench(apps, *scale, *reps, *seed)
+		rows, stats, snap, err := eval.KernelBench(apps, *scale, *reps, *seed, workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(eval.FormatKernelBench(rows))
+		fmt.Printf("geomean speedup: %.2fx\n", eval.GeomeanSpeedup(rows))
+		if base != nil {
+			if err := eval.CheckKernelBaseline(base, rows, 10); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline gate: ok (no app >10%% below %s)\n", *baseline)
+		}
 		if *verbose {
 			for _, r := range rows {
 				st := stats[r.App]

@@ -152,6 +152,8 @@ type dmaKernel struct {
 	left     int
 	inFlight int
 	started  bool
+
+	tickWake func()
 }
 
 func newDMAKernel(pl *Plumbing, interrupts bool) *dmaKernel {
@@ -174,9 +176,25 @@ func (k *dmaKernel) start(src, dst uint64, n int) {
 	k.started = false
 	k.src, k.dst, k.left = src, dst, n
 	k.pl.Regs.Set(RegStatus, 0)
+	if k.tickWake != nil {
+		k.tickWake()
+	}
 }
 
 func (k *dmaKernel) idle() bool { return !k.busy }
+
+// TickWatch implements sim.TickSensitive: woken by the register write hook.
+func (k *dmaKernel) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive: a copy in progress issues beats
+// and checks completion every cycle; an idle kernel sleeps until start.
+func (k *dmaKernel) TickStable() bool { return !k.busy }
+
+// BindTickWake implements sim.TickWakeable. The register hook fires from the
+// tied register subordinate's Tick, which precedes this module in
+// registration order, so the woken Tick lands in the same cycle as on the
+// legacy kernel.
+func (k *dmaKernel) BindTickWake(wake func()) { k.tickWake = wake }
 
 // Tick implements sim.Module.
 func (k *dmaKernel) Tick() {

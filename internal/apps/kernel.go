@@ -34,6 +34,8 @@ type Kernel struct {
 	busy   bool
 	budget int
 	runs   int
+
+	tickWake func()
 }
 
 // NewKernel registers a kernel hooked to the plumbing's Go register.
@@ -61,6 +63,42 @@ func (k *Kernel) start() {
 	k.budget = k.Compute()
 	if k.budget < 1 {
 		k.budget = 1
+	}
+	if k.tickWake != nil {
+		k.tickWake()
+	}
+}
+
+// TickWatch implements sim.TickSensitive: the kernel reacts to no channel
+// directly — it is woken by the register-file write hook (start).
+func (k *Kernel) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive: an idle kernel's Tick is a no-op
+// until the next start; a busy one counts its budget down every cycle.
+func (k *Kernel) TickStable() bool { return !k.busy }
+
+// BindTickWake implements sim.TickWakeable; start wakes the kernel. The
+// register write hook fires from the tied register subordinate's Tick, which
+// precedes the kernel in registration order, so the woken Tick lands in the
+// same cycle as on the legacy kernel.
+func (k *Kernel) BindTickWake(wake func()) { k.tickWake = wake }
+
+// TickHorizon implements sim.TickHorizon: while the kernel burns its compute
+// budget, every Tick except the completing one only decrements a counter, so
+// the scheduler may skip up to budget-1 cycles and fast-forward the counter
+// with SkipTicks. The completing Tick (stream-out, status write, interrupt)
+// always executes for real.
+func (k *Kernel) TickHorizon(now uint64) uint64 {
+	if !k.busy || k.budget <= 1 {
+		return now
+	}
+	return now + uint64(k.budget) - 1
+}
+
+// SkipTicks implements sim.TickHorizon.
+func (k *Kernel) SkipTicks(n uint64) {
+	if k.busy {
+		k.budget -= int(n)
 	}
 }
 

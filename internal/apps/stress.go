@@ -150,3 +150,10 @@ func (c *stressCore) flush() {
 
 // Tick implements sim.Module.
 func (c *stressCore) Tick() {}
+
+// TickWatch implements sim.TickSensitive: the core acts entirely from the
+// register-file write hooks; its Tick is empty.
+func (c *stressCore) TickWatch() []*sim.Channel { return nil }
+
+// TickStable implements sim.TickSensitive: always stable, never ticked.
+func (c *stressCore) TickStable() bool { return true }

@@ -80,6 +80,10 @@ type RunConfig struct {
 	// Workers bounds the scheduler's partition worker pool when >0 (1 forces
 	// sequential partition evaluation).
 	Workers int
+	// CoarsePartitions selects the coarse (reads-merged, single-layer)
+	// partitioning strategy instead of fine-grained sub-partitioning, the
+	// differential reference for the worker-matrix golden tests.
+	CoarsePartitions bool
 	// SensitivityCheck arms the kernel's dynamic declaration checker
 	// (sim.Simulator.SetSensitivityCheck): every Eval is audited against its
 	// module's declared Reads/Drives and a mismatch fails the run.
@@ -148,6 +152,7 @@ func Build(rc RunConfig) (*Built, error) {
 		Telemetry: rc.Telemetry,
 	})
 	sys.Sim.SetLegacy(rc.LegacyKernel)
+	sys.Sim.SetCoarsePartitions(rc.CoarsePartitions)
 	sys.Sim.SetSensitivityCheck(rc.SensitivityCheck)
 	if rc.Telemetry != nil {
 		sys.Sim.SetTelemetry(rc.Telemetry)

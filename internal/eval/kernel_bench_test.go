@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKernelBaselineGate exercises the CI bench regression gate on synthetic
+// rows: a speedup within tolerance (or an app new to the baseline) passes, a
+// drop beyond it fails and names the app.
+func TestKernelBaselineGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	base := []KernelBenchRow{
+		{App: "alpha", Speedup: 10},
+		{App: "beta", Speedup: 2},
+	}
+	if err := WriteKernelBenchJSON(path, 1, 2, 7, base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKernelBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded["alpha"].Speedup != 10 {
+		t.Fatalf("round-trip: %+v", loaded)
+	}
+
+	ok := []KernelBenchRow{
+		{App: "alpha", Speedup: 9.5}, // within 10%
+		{App: "beta", Speedup: 4},    // improved
+		{App: "gamma", Speedup: 1},   // new app, no baseline
+	}
+	if err := CheckKernelBaseline(loaded, ok, 10); err != nil {
+		t.Fatalf("tolerable rows rejected: %v", err)
+	}
+
+	bad := []KernelBenchRow{
+		{App: "alpha", Speedup: 8.5}, // 15% below
+		{App: "beta", Speedup: 2},
+	}
+	err = CheckKernelBaseline(loaded, bad, 10)
+	if err == nil {
+		t.Fatal("regressed row passed the gate")
+	}
+	if !strings.Contains(err.Error(), "alpha") || strings.Contains(err.Error(), "beta") {
+		t.Fatalf("gate error should name only the regressed app: %v", err)
+	}
+}
+
+// TestKernelBenchSweep runs the bench machinery itself on one short app with
+// a two-point worker sweep: the row must carry both sweep points, a real
+// multi-worker run, and the batching/layer counters the table prints.
+func TestKernelBenchSweep(t *testing.T) {
+	rows, stats, snap, err := KernelBench([]string{"dma-irq"}, 1, 1, 7, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || snap == nil {
+		t.Fatalf("rows=%d snap=%v", len(rows), snap)
+	}
+	r := rows[0]
+	if len(r.Sweep) != 2 {
+		t.Fatalf("sweep: %+v", r.Sweep)
+	}
+	if r.Sweep[0].Workers != 1 || r.Sweep[1].Workers != 2 {
+		t.Fatalf("sweep worker counts not honoured: %+v", r.Sweep)
+	}
+	if r.Workers != 2 {
+		t.Fatalf("row must record the widest exercised pool, got %d", r.Workers)
+	}
+	if r.Partitions < 2 || r.SettleLayers < 1 {
+		t.Fatalf("shape counters: %+v", r)
+	}
+	if _, ok := stats[r.App]; !ok {
+		t.Fatalf("no raw stats for %s", r.App)
+	}
+}

@@ -138,6 +138,37 @@ type TickWakeable interface {
 	BindTickWake(wake func())
 }
 
+// NoHorizon is the TickHorizon answer of a module that never needs a tick
+// until something external wakes it.
+const NoHorizon = ^uint64(0)
+
+// TickHorizon is an optional extension for quiescence cycle-batching: a
+// module that can promise "my Ticks are mechanical until cycle H" lets the
+// scheduler skip whole stretches of cycles at once instead of stepping
+// through them one tick-gated cycle at a time.
+//
+// TickHorizon(now) returns a cycle H ≥ now such that every Tick the module
+// would run in cycles [now, H) has no externally visible effect: it writes
+// no signal, pushes no channel, wakes no other module, and its entire state
+// evolution over those cycles can be reproduced by a single SkipTicks(n)
+// call. Returning now declines the skip; returning NoHorizon places no
+// bound. When the scheduler skips k cycles it calls SkipTicks(k) on every
+// module whose horizon it consulted, so internal countdowns (a compute
+// budget, a refill timer) stay exact.
+//
+// The scheduler only batches cycles on which the whole network is provably
+// frozen — no pending evals, no unstable polled module, every channel idle
+// or stalled, and every module that would tick covered by a horizon — so a
+// design with even one awake module lacking a horizon simply never batches.
+// Modules asleep under tick gating are not consulted and must not have
+// their time advanced: a gated module's Tick contract already tolerates
+// arbitrary sleep stretches.
+type TickHorizon interface {
+	Module
+	TickHorizon(now uint64) uint64
+	SkipTicks(n uint64)
+}
+
 // EvalTracker is an embeddable helper implementing Stable: call Touch from
 // Tick (or any out-of-band mutator such as a queue Push) whenever registered
 // state that feeds Eval changes. The scheduler clears the flag each time it
@@ -224,12 +255,27 @@ type Stats struct {
 	// SkippedTicks counts Tick calls avoided by clock-edge gating
 	// (TickSensitive modules asleep on quiet cycles).
 	SkippedTicks uint64
+	// BatchedCycles counts clock cycles skipped wholesale by quiescence
+	// batching: the network was frozen and every would-be tick was covered
+	// by a TickHorizon, so the scheduler advanced time without settling,
+	// checking or ticking anything.
+	BatchedCycles uint64
 	// Partitions is the number of independent components the sensitivity
 	// graph was split into at Build time (1 on the legacy kernel).
 	Partitions int
+	// SettleLayers is the depth of the partition dependency DAG: partitions
+	// within a layer settle in parallel, layers settle in order so declared
+	// cross-partition reads always observe settled values (1 on the legacy
+	// kernel and under coarse partitioning).
+	SettleLayers int
 	// Workers is the number of goroutines used per settle/tick phase
 	// (1 means fully sequential).
 	Workers int
+	// WorkerBusy counts, per worker slot, the partition settles/ticks that
+	// slot processed. Work is distributed by an atomic counter, so the split
+	// across slots is observational (it varies run to run); the total equals
+	// the partition-phase executions and is what matters for utilisation.
+	WorkerBusy []uint64
 	// ReadsAllModules names the modules scheduled with the conservative
 	// ReadsAll fallback, in registration order. Each one is re-evaluated on
 	// every settle wave and forces its whole component into one partition,
@@ -243,6 +289,12 @@ func (st Stats) String() string {
 	s := fmt.Sprintf(
 		"cycles=%d evals=%d waves=%d skipped=%d ticks-skipped=%d partitions=%d workers=%d",
 		st.Cycles, st.EvalCalls, st.SettleWaves, st.SkippedEvals, st.SkippedTicks, st.Partitions, st.Workers)
+	if st.SettleLayers > 1 {
+		s += fmt.Sprintf(" layers=%d", st.SettleLayers)
+	}
+	if st.BatchedCycles > 0 {
+		s += fmt.Sprintf(" batched=%d", st.BatchedCycles)
+	}
 	if len(st.ReadsAllModules) > 0 {
 		s += fmt.Sprintf(" readsall=%d%v", len(st.ReadsAllModules), st.ReadsAllModules)
 	}
@@ -265,15 +317,25 @@ type modState struct {
 	needsTick bool
 }
 
-// partition is one connected component of the sensitivity graph. Partitions
-// share no signals, so they settle and tick independently; determinism
-// follows because module order inside a partition is registration order and
-// the sequential phases (checkers, latch) run in fixed global order.
+// partition is one node of the partition DAG: a group of modules that owns
+// every signal its members drive. Within a partition, module order is
+// registration order, same as the legacy kernel. Partitions that exchange no
+// signals are fully independent; a declared read of another partition's
+// signal places the reader in a strictly later settle layer, and the change
+// notification crosses over through the owner's outbox at a layer barrier —
+// so no two workers ever write the same partition's state, and determinism
+// is preserved at any worker count.
 type partition struct {
 	modules    []int32 // module indices, ascending (registration order)
 	allReaders []int32 // modules with the ReadsAll fallback, ascending
 	seedAlways []int32 // modules without Stable: evaluate on wave 0 every cycle
 	seedPoll   []int32 // StablePoll modules: EvalStable consulted every cycle
+
+	// outbox is the partition's mailbox of changed signals with readers in
+	// other partitions (signal ids, dedup'd by sigcore.queued). Appended only
+	// by this partition's own worker (its settle or tick) or by the caller's
+	// goroutine outside a Step; drained single-threaded at layer barriers.
+	outbox []int32
 
 	// ungated counts modules without tick gating; awake counts gated modules
 	// whose needsTick flag is set. When both are zero the whole tick phase is
@@ -315,7 +377,25 @@ type scheduler struct {
 	sim     *Simulator
 	mods    []modState
 	parts   []partition
-	workers int // effective worker count for parallel phases
+	sigs    []*sigcore // dense signal table (wires then datas), for outbox drains
+	workers int        // effective worker count for parallel phases
+
+	// layers lists partition indices per settle layer of the dependency DAG;
+	// allIdx lists every partition (tick phase, which has no ordering).
+	layers [][]int32
+	allIdx []int32
+
+	// horizons caches each module's TickHorizon implementation (nil if none);
+	// batchable is the static precondition for quiescence batching: every
+	// ungated module has a horizon (gated modules are covered dynamically —
+	// an awake one without a horizon just declines the batch at runtime).
+	horizons      []TickHorizon
+	batchable     bool
+	batchedCycles uint64
+
+	// workerBusy counts partition-phase executions per worker slot; each slot
+	// writes only its own entry, read after the phase barrier.
+	workerBusy []uint64
 
 	// timed arms the sampled per-partition settle timing (telemetry sink
 	// attached).
@@ -327,10 +407,11 @@ type scheduler struct {
 }
 
 // touched marks the readers of a changed signal pending. It runs on the
-// goroutine that is settling (or ticking) the signal's partition, or on the
-// caller's goroutine outside a Step; either way all of a signal's readers
-// live in the signal's own partition, so the pending bits are never shared
-// across workers.
+// goroutine that is settling (or ticking) the signal's owner partition, or
+// on the caller's goroutine outside a Step. Readers in the owner partition
+// are marked directly; readers elsewhere are reached by enqueueing the
+// signal in the owner's outbox, drained single-threaded at layer barriers —
+// so pending bits are never written across workers.
 func (sc *scheduler) touched(g *sigcore) {
 	if g.part < 0 {
 		return
@@ -344,6 +425,37 @@ func (sc *scheduler) touched(g *sigcore) {
 			p.pendingCount++
 			p.wakes++
 		}
+	}
+	if len(g.remote) > 0 && !g.queued {
+		g.queued = true
+		p.outbox = append(p.outbox, g.id)
+	}
+}
+
+// drainOutboxes flushes every partition's mailbox, marking remote readers
+// pending. It runs only on the settle barrier goroutine while no partition
+// workers are active, in partition-index then enqueue order, so the wakeups
+// it produces are deterministic.
+func (sc *scheduler) drainOutboxes() {
+	for i := range sc.parts {
+		p := &sc.parts[i]
+		if len(p.outbox) == 0 {
+			continue
+		}
+		for _, sid := range p.outbox {
+			g := sc.sigs[sid]
+			g.queued = false
+			for _, mi := range g.remote {
+				ms := &sc.mods[mi]
+				if !ms.pending {
+					ms.pending = true
+					q := &sc.parts[ms.part]
+					q.pendingCount++
+					q.wakes++
+				}
+			}
+		}
+		p.outbox = p.outbox[:0]
 	}
 }
 
@@ -499,17 +611,22 @@ func (sc *scheduler) tickPart(p *partition) {
 	}
 }
 
-// forEachPart runs fn over all partitions, in parallel when the design has
-// more than one partition and more than one worker. Work is distributed by
-// an atomic counter; that makes the partition→goroutine assignment
-// nondeterministic, but partitions are independent by construction, so
-// simulation results do not depend on it.
-func (sc *scheduler) forEachPart(fn func(p *partition)) {
-	n := len(sc.parts)
+// runParts runs fn over the given partitions, in parallel when there is more
+// than one of them and more than one worker. Work is distributed by an
+// atomic counter; that makes the partition→goroutine assignment
+// nondeterministic, but partitions within a batch are independent by
+// construction (a settle layer, or the whole tick phase), so simulation
+// results do not depend on it — only the observational workerBusy split does.
+func (sc *scheduler) runParts(idxs []int32, fn func(p *partition)) {
+	n := len(idxs)
+	if n == 0 {
+		return
+	}
 	if n == 1 || sc.workers <= 1 {
-		for i := range sc.parts {
-			fn(&sc.parts[i])
+		for _, pi := range idxs {
+			fn(&sc.parts[pi])
 		}
+		sc.workerBusy[0] += uint64(n)
 		return
 	}
 	w := sc.workers
@@ -517,34 +634,45 @@ func (sc *scheduler) forEachPart(fn func(p *partition)) {
 		w = n
 	}
 	var next atomic.Int64
-	worker := func() {
+	worker := func(slot int) {
+		ran := uint64(0)
 		for {
 			j := int(next.Add(1)) - 1
 			if j >= n {
-				return
+				break
 			}
-			fn(&sc.parts[j])
+			fn(&sc.parts[idxs[j]])
+			ran++
 		}
+		sc.workerBusy[slot] += ran
 	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for i := 1; i < w; i++ {
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(slot)
+		}(i)
 	}
-	worker()
+	worker(0)
 	wg.Wait()
 }
 
-// settle runs the combinational phase across all partitions. The first
-// error in partition order wins, keeping failures deterministic even when
-// partitions run concurrently.
+// settle runs the combinational phase layer by layer: partitions within a
+// layer settle in parallel, and every layer barrier flushes the outboxes so
+// cross-partition reads (always from an earlier layer, by construction of
+// the DAG) observe settled values. The first error in partition order wins,
+// keeping failures deterministic even when partitions run concurrently.
 func (sc *scheduler) settle(cycle uint64, maxIters int) error {
-	sc.forEachPart(func(p *partition) {
-		p.err = sc.settlePart(p, cycle, maxIters)
-	})
+	// Wakeups produced since the last settle — tick-phase writes, latch
+	// wakes, or the caller driving signals between Steps — land first.
+	sc.drainOutboxes()
+	for _, layer := range sc.layers {
+		sc.runParts(layer, func(p *partition) {
+			p.err = sc.settlePart(p, cycle, maxIters)
+		})
+		sc.drainOutboxes()
+	}
 	for i := range sc.parts {
 		if err := sc.parts[i].err; err != nil {
 			sc.parts[i].err = nil
@@ -554,9 +682,88 @@ func (sc *scheduler) settle(cycle uint64, maxIters int) error {
 	return nil
 }
 
-// tick runs the clock edge across all partitions.
+// tick runs the clock edge across all partitions. Tick order across
+// partitions is unordered by contract: a module's Tick may only write
+// signals its own partition owns (cross-partition coupling in the tick
+// phase must be declared with Tie), so no layering is needed.
 func (sc *scheduler) tick() {
-	sc.forEachPart(func(p *partition) { sc.tickPart(p) })
+	sc.runParts(sc.allIdx, func(p *partition) { sc.tickPart(p) })
+}
+
+// quiesce reports how many of the next limit cycles can be skipped outright:
+// k > 0 means cycles [now, now+k) would each be a no-op — the combinational
+// network is frozen (nothing pending anywhere, every polled module stable),
+// every channel is idle or stalled on an unready consumer so the latch phase
+// cannot produce events, and every module that would tick has promised (via
+// TickHorizon) that its next k ticks are mechanical. On success the skipped
+// time has already been committed: horizons were advanced with SkipTicks and
+// the per-partition counters account the skipped work exactly as tick/eval
+// gating would have.
+//
+// Frozen state also pins everything downstream of a Step: checker verdicts,
+// done() predicates and watchdog progress are functions of module and
+// channel state, none of which changes during the skipped stretch — which is
+// why Run can jump the clock without running them.
+func (sc *scheduler) quiesce(now, limit uint64) uint64 {
+	if limit == 0 {
+		return 0
+	}
+	for i := range sc.parts {
+		p := &sc.parts[i]
+		if p.pendingCount > 0 || len(p.outbox) > 0 {
+			return 0
+		}
+		for _, mi := range p.seedPoll {
+			if !sc.mods[mi].stable.EvalStable() {
+				return 0
+			}
+		}
+	}
+	for _, ch := range sc.sim.channels {
+		// Frozen channel: no offer, or an offer stalled behind a transaction
+		// already in flight with the consumer not ready. Anything else would
+		// latch a start or a fire next cycle.
+		if ch.Valid.peek() && !(ch.inFlight && !ch.Ready.peek()) {
+			return 0
+		}
+	}
+	k := limit
+	for i := range sc.mods {
+		ms := &sc.mods[i]
+		if ms.ticks != nil && !ms.needsTick {
+			continue // asleep under tick gating: its Tick would not run anyway
+		}
+		th := sc.horizons[i]
+		if th == nil {
+			return 0 // an awake module without a horizon must tick for real
+		}
+		h := th.TickHorizon(now)
+		if h <= now {
+			return 0
+		}
+		if h != NoHorizon && h-now < k {
+			k = h - now
+		}
+	}
+	// Commit: fast-forward the consulted modules' internal time, and fold
+	// the skipped work into the counters exactly as per-cycle gating would
+	// have (one legacy confirmation pass of evals and a full tick scan per
+	// skipped cycle).
+	for i := range sc.mods {
+		ms := &sc.mods[i]
+		if ms.ticks != nil && !ms.needsTick {
+			continue
+		}
+		sc.horizons[i].SkipTicks(k)
+	}
+	for i := range sc.parts {
+		p := &sc.parts[i]
+		n := uint64(len(p.modules))
+		p.skipped += k * n
+		p.tickSkips += k * n
+	}
+	sc.batchedCycles += k
+	return k
 }
 
 // counters sums the per-partition counters into st.
@@ -567,6 +774,19 @@ func (sc *scheduler) counters(st *Stats) {
 		st.SettleWaves += p.waves
 		st.SkippedEvals += p.skipped
 		st.SkippedTicks += p.tickSkips
+	}
+	st.BatchedCycles += sc.batchedCycles
+	if len(sc.workerBusy) > 0 || len(st.WorkerBusy) > 0 {
+		n := len(st.WorkerBusy)
+		if len(sc.workerBusy) > n {
+			n = len(sc.workerBusy)
+		}
+		wb := make([]uint64, n)
+		copy(wb, st.WorkerBusy)
+		for i, v := range sc.workerBusy {
+			wb[i] += v
+		}
+		st.WorkerBusy = wb
 	}
 }
 
@@ -590,6 +810,60 @@ func (s *Simulator) Tie(ms ...Module) {
 func (s *Simulator) SetWorkers(n int) {
 	s.workers = n
 	s.invalidate()
+}
+
+// SetCoarsePartitions selects the coarse partitioning strategy: union-find
+// merges read edges as well as drives, so a module lands in the same
+// partition as every signal it reads and the partition graph has no cross
+// edges (a single settle layer, no mailbox traffic). This was the only
+// strategy before fine-grained sub-partitioning; it is kept selectable as a
+// differential reference — the golden matrix tests assert byte-identical
+// traces across both strategies — and as an escape hatch.
+func (s *Simulator) SetCoarsePartitions(coarse bool) {
+	s.coarse = coarse
+	s.invalidate()
+}
+
+// PartitionLayout returns each partition's module names (registration order
+// within a partition, partitions ordered by lowest module index), building
+// the schedule if needed. The legacy kernel reports one partition holding
+// every module. It exists for tests and diagnostics: the tie-preservation
+// property test asserts over it that partitioning never splits a Tie group.
+func (s *Simulator) PartitionLayout() ([][]string, error) {
+	if !s.built {
+		if err := s.Build(); err != nil {
+			return nil, err
+		}
+	}
+	if s.sched == nil {
+		all := make([]string, len(s.modules))
+		for i, m := range s.modules {
+			all[i] = m.Name()
+		}
+		return [][]string{all}, nil
+	}
+	out := make([][]string, len(s.sched.parts))
+	for i := range s.sched.parts {
+		p := &s.sched.parts[i]
+		out[i] = make([]string, 0, len(p.modules))
+		for _, mi := range p.modules {
+			out[i] = append(out[i], s.sched.mods[mi].m.Name())
+		}
+	}
+	return out, nil
+}
+
+// TieGroups returns the declared Tie groups as module names, in declaration
+// order. Companion accessor to PartitionLayout for property tests.
+func (s *Simulator) TieGroups() [][]string {
+	out := make([][]string, len(s.ties))
+	for i, tie := range s.ties {
+		out[i] = make([]string, 0, len(tie))
+		for _, m := range tie {
+			out[i] = append(out[i], m.Name())
+		}
+	}
+	return out
 }
 
 // SetLegacy selects the seed kernel: a global delta-cycle fixpoint that
@@ -735,6 +1009,11 @@ func (s *Simulator) Build() error {
 		}
 	}
 
+	// Partition granularity: by default only drive edges merge a module with
+	// a signal, so a signal lives with its driver(s) and a reader in another
+	// component stays there — read edges become directed dependencies between
+	// partitions instead of merging them. Coarse mode (SetCoarsePartitions)
+	// restores the original strategy of unioning reads too.
 	sens := make([]Sensitivity, nm)
 	haveAll := false
 	var readsAllNames []string
@@ -756,7 +1035,9 @@ func (s *Simulator) Build() error {
 				return fmt.Errorf("sim: module %s reads signal %s of a different simulator", m.Name(), sg.Name())
 			}
 			g.readers = append(g.readers, int32(i))
-			union(int32(i), int32(nm)+g.id)
+			if s.coarse {
+				union(int32(i), int32(nm)+g.id)
+			}
 		}
 		for _, sg := range sens[i].Drives {
 			g := sg.sigmeta()
@@ -769,6 +1050,15 @@ func (s *Simulator) Build() error {
 	if haveAll {
 		for _, g := range sigs {
 			union(int32(all), int32(nm)+g.id)
+		}
+		if !s.coarse {
+			// A ReadsAll module re-evaluates whenever anything in its
+			// partition changes (changedInWave), so every module — including
+			// pure readers no longer merged in by their read edges — must
+			// share its partition for that trigger to see all changes.
+			for i := 0; i < nm; i++ {
+				union(int32(all), int32(i))
+			}
 		}
 	}
 	midx := make(map[Module]int32, nm)
@@ -789,15 +1079,104 @@ func (s *Simulator) Build() error {
 		}
 	}
 
+	// Settle-order analysis over the preliminary components: a signal's value
+	// flows from the component that drives it to every component that reads
+	// it, so those read edges must be acyclic to settle in one ordered pass.
+	// Tie merges can induce cycles invisible at module granularity (two
+	// groups reading each other's signals); Tarjan's SCC over the component
+	// graph finds them, and each SCC collapses into a single partition. The
+	// surviving condensation is a DAG whose longest-path layering becomes the
+	// settle schedule.
+	prelimOf := make(map[int32]int32)
+	var prelimRep []int32 // one representative module per component
+	for i := range s.modules {
+		root := find(int32(i))
+		if _, ok := prelimOf[root]; !ok {
+			prelimOf[root] = int32(len(prelimRep))
+			prelimRep = append(prelimRep, int32(i))
+		}
+	}
+	np := len(prelimRep)
+	adj := make([][]int32, np)
+	seenEdge := make(map[int64]struct{})
+	for _, g := range sigs {
+		src, driven := prelimOf[find(int32(nm)+g.id)]
+		if !driven {
+			continue // no driver: imposes no settle ordering
+		}
+		for _, mi := range g.readers {
+			dst := prelimOf[find(mi)]
+			if dst == src {
+				continue
+			}
+			key := int64(src)<<32 | int64(dst)
+			if _, dup := seenEdge[key]; dup {
+				continue
+			}
+			seenEdge[key] = struct{}{}
+			adj[src] = append(adj[src], dst)
+		}
+	}
+	sccIdx := make([]int32, np)
+	sccLow := make([]int32, np)
+	onStack := make([]bool, np)
+	for i := range sccIdx {
+		sccIdx[i] = -1
+	}
+	var sccStack []int32
+	var sccCounter int32
+	var strong func(v int32)
+	strong = func(v int32) {
+		sccIdx[v], sccLow[v] = sccCounter, sccCounter
+		sccCounter++
+		sccStack = append(sccStack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if sccIdx[w] < 0 {
+				strong(w)
+				if sccLow[w] < sccLow[v] {
+					sccLow[v] = sccLow[w]
+				}
+			} else if onStack[w] && sccIdx[w] < sccLow[v] {
+				sccLow[v] = sccIdx[w]
+			}
+		}
+		if sccLow[v] == sccIdx[v] {
+			top := len(sccStack)
+			for {
+				top--
+				w := sccStack[top]
+				onStack[w] = false
+				if w == v {
+					break
+				}
+			}
+			for _, w := range sccStack[top+1:] {
+				union(prelimRep[v], prelimRep[w])
+			}
+			sccStack = sccStack[:top]
+		}
+	}
+	for v := int32(0); v < int32(np); v++ {
+		if sccIdx[v] < 0 {
+			strong(v)
+		}
+	}
+
 	// Partitions in order of their lowest-index module, modules ascending
 	// inside each: evaluation order within a partition is registration
 	// order, same as the legacy kernel.
-	sc := &scheduler{sim: s, mods: make([]modState, nm)}
+	sc := &scheduler{sim: s, mods: make([]modState, nm), sigs: sigs}
 	for _, ch := range s.channels {
 		ch.watchers = ch.watchers[:0]
 	}
+	sc.horizons = make([]TickHorizon, nm)
+	sc.batchable = true
 	compIdx := make(map[int32]int32)
 	for i, m := range s.modules {
+		if th, ok := m.(TickHorizon); ok {
+			sc.horizons[i] = th
+		}
 		root := find(int32(i))
 		pi, ok := compIdx[root]
 		if !ok {
@@ -850,6 +1229,11 @@ func (s *Simulator) Build() error {
 			}
 		} else {
 			p.ungated++
+			if sc.horizons[i] == nil {
+				// An ungated module ticks every cycle with no horizon to
+				// bound the skip, so this design can never batch.
+				sc.batchable = false
+			}
 		}
 		if w, ok := m.(TickWakeable); ok {
 			if ms.ticks == nil {
@@ -866,11 +1250,95 @@ func (s *Simulator) Build() error {
 			}
 		}
 	}
-	for _, g := range sigs {
+	// Signal ownership: a signal lives with its driver component. A signal
+	// nobody drives through a declared Eval (test stimulus written between
+	// Steps, say) is adopted by its first reader's partition so changes still
+	// wake readers; it contributes no settle-order edges.
+	driven := make([]bool, len(sigs))
+	for si, g := range sigs {
 		if pi, ok := compIdx[find(int32(nm)+g.id)]; ok {
 			g.part = pi
+			driven[si] = true
+		} else if len(g.readers) > 0 {
+			g.part = sc.mods[g.readers[0]].part
 		}
 	}
+	// Split each signal's readers into same-partition (marked pending
+	// directly) and remote (reached through the owner's outbox).
+	for _, g := range sigs {
+		g.remote = g.remote[:0]
+		g.queued = false
+		if len(g.readers) == 0 {
+			continue
+		}
+		local := g.readers[:0]
+		for _, mi := range g.readers {
+			if sc.mods[mi].part == g.part {
+				local = append(local, mi)
+			} else {
+				g.remote = append(g.remote, mi)
+			}
+		}
+		g.readers = local
+	}
+	// Layer the partition DAG by longest path: every remaining cross-
+	// partition read edge goes from a lower layer to a strictly higher one
+	// (cycles were collapsed by the SCC pass above), so settling layers in
+	// order guarantees declared reads always observe settled values.
+	npf := len(sc.parts)
+	fadj := make([][]int32, npf)
+	indeg := make([]int, npf)
+	seenEdge = make(map[int64]struct{})
+	for si, g := range sigs {
+		if !driven[si] || len(g.remote) == 0 {
+			continue
+		}
+		for _, mi := range g.remote {
+			dst := sc.mods[mi].part
+			key := int64(g.part)<<32 | int64(dst)
+			if _, dup := seenEdge[key]; dup {
+				continue
+			}
+			seenEdge[key] = struct{}{}
+			fadj[g.part] = append(fadj[g.part], dst)
+			indeg[dst]++
+		}
+	}
+	layerOf := make([]int, npf)
+	queue := make([]int32, 0, npf)
+	for i := 0; i < npf; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	maxLayer := 0
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, w := range fadj[v] {
+			if layerOf[v]+1 > layerOf[w] {
+				layerOf[w] = layerOf[v] + 1
+				if layerOf[w] > maxLayer {
+					maxLayer = layerOf[w]
+				}
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, int32(w))
+			}
+		}
+	}
+	sc.layers = make([][]int32, maxLayer+1)
+	for i := 0; i < npf; i++ {
+		sc.layers[layerOf[i]] = append(sc.layers[layerOf[i]], int32(i))
+	}
+	sc.allIdx = make([]int32, npf)
+	for i := range sc.allIdx {
+		sc.allIdx[i] = int32(i)
+	}
+
+	// Move signal state into the per-partition struct-of-arrays slabs now
+	// that ownership is final.
+	s.buildSlabs(npf)
 
 	sc.workers = s.workers
 	if sc.workers <= 0 {
@@ -882,6 +1350,7 @@ func (s *Simulator) Build() error {
 	if sc.workers < 1 {
 		sc.workers = 1
 	}
+	sc.workerBusy = make([]uint64, sc.workers)
 	sc.readsAllNames = readsAllNames
 	if s.tel != nil {
 		sc.bindTelemetry(s.tel)
@@ -905,11 +1374,16 @@ func (s *Simulator) Stats() Stats {
 	if s.sched != nil {
 		s.sched.counters(&st)
 		st.Partitions = len(s.sched.parts)
+		st.SettleLayers = len(s.sched.layers)
 		st.Workers = s.sched.workers
 		st.ReadsAllModules = append([]string(nil), s.sched.readsAllNames...)
 	} else {
+		// Legacy kernel (or no schedule built yet): one sequential partition,
+		// one worker — never report a stale scheduler shape.
 		st.Partitions = 1
+		st.SettleLayers = 1
 		st.Workers = 1
+		st.WorkerBusy = append([]uint64(nil), st.WorkerBusy...)
 	}
 	return st
 }

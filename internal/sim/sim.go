@@ -119,7 +119,19 @@ type Simulator struct {
 	sched   *scheduler
 	ties    [][]Module
 	workers int
-	stats   Stats
+	// coarse selects read-edge unioning (the pre-sub-partitioning strategy);
+	// see SetCoarsePartitions.
+	coarse bool
+	stats  Stats
+
+	// Struct-of-arrays signal state, rebuilt by Build: per-partition regions
+	// of wire values, generation counters, and data-bus bytes, padded so
+	// parallel partitions never share a cache line. Wires and Datas are thin
+	// handles pointing into these slabs; the fields only anchor the current
+	// slabs against the garbage collector.
+	slabBools []bool
+	slabGens  []uint64
+	slabArena []byte
 
 	// tel, when non-nil, is bound to the schedule at Build time; see
 	// SetTelemetry.
@@ -240,6 +252,16 @@ func (s *Simulator) settleLegacy() error {
 
 // Run steps the simulation until done returns true, the watchdog trips, or
 // maxCycles elapse. It returns the number of cycles executed by this call.
+//
+// Run — and only Run — applies quiescence cycle-batching: after a Step that
+// leaves the network provably frozen (see scheduler.quiesce), the clock
+// jumps over the dead stretch instead of stepping through it. Step keeps its
+// advance-exactly-one-cycle contract, so manual-stepping tests and callers
+// are never batched. Skipped cycles are externally invisible: no signal
+// changes, so traces and VCD output are byte-identical, checker verdicts and
+// the done predicate are constant, and the skip is capped so the watchdog
+// still trips — and maxCycles still expires — at exactly the cycle it would
+// have unbatched.
 func (s *Simulator) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	start := s.cycle
 	for s.cycle-start < maxCycles {
@@ -251,6 +273,27 @@ func (s *Simulator) Run(maxCycles uint64, done func() bool) (uint64, error) {
 		}
 		if s.WatchdogWindow > 0 && s.anyInFlight() && s.cycle-s.lastFire > s.WatchdogWindow {
 			return s.cycle - start, s.deadlockError()
+		}
+		// The done re-check matters: this Step may just have finished the
+		// run, and batching past that point would inflate the cycle count the
+		// caller observes. For a still-unfinished frozen network, done stays
+		// false across the whole skipped stretch (it is a pure function of
+		// module and channel state, which cannot change while frozen).
+		if s.sched != nil && s.sched.batchable && !(done != nil && done()) {
+			limit := maxCycles - (s.cycle - start)
+			if s.WatchdogWindow > 0 && s.anyInFlight() {
+				// Leave enough real Steps for the watchdog to trip at the
+				// same cycle as an unbatched run would.
+				wd := s.lastFire + s.WatchdogWindow
+				if wd <= s.cycle {
+					limit = 0
+				} else if wd-s.cycle < limit {
+					limit = wd - s.cycle
+				}
+			}
+			if k := s.sched.quiesce(s.cycle, limit); k > 0 {
+				s.cycle += k
+			}
 		}
 	}
 	if done != nil && done() {

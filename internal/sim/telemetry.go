@@ -39,12 +39,24 @@ func (sc *scheduler) bindTelemetry(sink *telemetry.Sink) {
 	sc.timed = true
 	sink.Gauge("vidi_sched_partitions",
 		"Independent components of the sensitivity graph.").Set(float64(len(sc.parts)))
+	sink.Gauge("vidi_sched_layers",
+		"Settle layers of the partition dependency DAG.").Set(float64(len(sc.layers)))
 	sink.Gauge("vidi_sched_workers",
 		"Worker goroutines used per settle/tick phase.").Set(float64(sc.workers))
 	sink.Gauge("vidi_sched_modules",
 		"Registered modules in the schedule.").Set(float64(len(sc.mods)))
 	cycles := sink.Gauge("vidi_sched_cycles",
 		"Completed clock cycles at the last scrape.")
+	batched := sink.Counter("vidi_sched_batched_cycles_total",
+		"Clock cycles skipped wholesale by quiescence batching.")
+	var lastBatched uint64
+	workerBusy := make([]*telemetry.Counter, len(sc.workerBusy))
+	lastWorkerBusy := make([]uint64, len(sc.workerBusy))
+	for i := range workerBusy {
+		workerBusy[i] = sink.Counter("vidi_sched_worker_busy_total",
+			"Partition settles/ticks processed by the worker slot (observational split).",
+			telemetry.L("worker", strconv.Itoa(i)))
+	}
 
 	gs := make([]schedGather, len(sc.parts))
 	for i := range sc.parts {
@@ -71,6 +83,12 @@ func (sc *scheduler) bindTelemetry(sink *telemetry.Sink) {
 	}
 	sink.OnGather(func() {
 		cycles.Set(float64(sc.sim.cycle))
+		batched.Add(sc.batchedCycles - lastBatched)
+		lastBatched = sc.batchedCycles
+		for i := range workerBusy {
+			workerBusy[i].Add(sc.workerBusy[i] - lastWorkerBusy[i])
+			lastWorkerBusy[i] = sc.workerBusy[i]
+		}
 		for i := range sc.parts {
 			p, g := &sc.parts[i], &gs[i]
 			g.evals.Add(p.evals - g.lastEvals)

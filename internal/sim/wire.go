@@ -9,8 +9,16 @@ import "bytes"
 type sigcore struct {
 	sim     *Simulator
 	id      int32
-	part    int32   // partition of the signal's component; -1 if unobserved
-	readers []int32 // module indices whose Eval reads this signal
+	part    int32   // owning partition (the driver's component); -1 if unobserved
+	readers []int32 // reader modules in the signal's own partition
+	// remote lists reader modules in other partitions. A change enqueues the
+	// signal in the owner partition's outbox (mailbox) instead of marking the
+	// remote readers directly, so pending bits are never written across
+	// workers; the scheduler drains outboxes single-threaded at layer
+	// barriers. queued dedups the enqueue (set by the owner's worker, cleared
+	// by the drain, which only runs while no workers are active).
+	remote []int32
+	queued bool
 }
 
 func (g *sigcore) sigmeta() *sigcore { return g }
@@ -28,15 +36,25 @@ func (g *sigcore) changed() {
 // Wire is a single-bit signal. Writes take effect immediately within the
 // combinational phase; the simulator re-evaluates the modules that read the
 // wire (or, on the legacy kernel, every module) until no wire changes.
+//
+// Storage is struct-of-arrays: the value and generation counter live in
+// slabs owned by the Simulator, grouped by partition so parallel partitions
+// never share cache lines. The Wire itself is a thin handle; until the first
+// Build the pointers target the handle's own inline fields.
 type Wire struct {
 	sigcore
 	name string
-	val  bool
+	val  bool    // inline storage until Build moves the value into a slab
+	vp   *bool   // current value location (slab after Build)
+	genv uint64  // inline generation storage
+	gp   *uint64 // generation counter location; bumped on every value change
 }
 
 // NewWire creates a named single-bit wire.
 func (s *Simulator) NewWire(name string) *Wire {
 	w := &Wire{sigcore: sigcore{sim: s}, name: name}
+	w.vp = &w.val
+	w.gp = &w.genv
 	s.wires = append(s.wires, w)
 	s.invalidate()
 	return w
@@ -50,8 +68,19 @@ func (w *Wire) Get() bool {
 	if p := w.sim.probe; p != nil {
 		p.onRead(&w.sigcore)
 	}
-	return w.val
+	return *w.vp
 }
+
+// peek reads the value without consulting the sensitivity probe; the
+// scheduler's quiescence scan uses it so batching can never register as a
+// module's signal access.
+func (w *Wire) peek() bool { return *w.vp }
+
+// gen returns the wire's change-generation counter. It increments on every
+// effective Set, never resets (Build carries it across slab rebuilds), and
+// lets observers such as the VCD writer skip compare work for signals that
+// provably did not change.
+func (w *Wire) gen() uint64 { return *w.gp }
 
 // Set drives the wire. A change of value re-triggers the combinational
 // settle of the wire's readers.
@@ -59,24 +88,29 @@ func (w *Wire) Set(v bool) {
 	if p := w.sim.probe; p != nil {
 		p.onWrite(&w.sigcore)
 	}
-	if w.val != v {
-		w.val = v
+	if *w.vp != v {
+		*w.vp = v
+		*w.gp++
 		w.sigcore.changed()
 	}
 }
 
 // Data is a multi-byte bus (the DATA payload of a channel, an address bus,
-// and so on). Width is fixed at creation.
+// and so on). Width is fixed at creation. Like Wire, it is a thin handle:
+// after Build the payload bytes live in a per-partition arena slab.
 type Data struct {
 	sigcore
 	name  string
 	width int
-	val   []byte
+	val   []byte // re-sliced into the partition arena at Build
+	genv  uint64
+	gp    *uint64
 }
 
 // NewData creates a named bus of width bytes, initialised to zero.
 func (s *Simulator) NewData(name string, width int) *Data {
 	d := &Data{sigcore: sigcore{sim: s}, name: name, width: width, val: make([]byte, width)}
+	d.gp = &d.genv
 	s.datas = append(s.datas, d)
 	s.invalidate()
 	return d
@@ -87,6 +121,9 @@ func (d *Data) Name() string { return d.name }
 
 // Width returns the bus width in bytes.
 func (d *Data) Width() int { return d.width }
+
+// gen returns the bus's change-generation counter; see Wire.gen.
+func (d *Data) gen() uint64 { return *d.gp }
 
 // Get returns the bus's current value. The returned slice is the live
 // backing array; callers must not modify it. Use Snapshot for a copy.
@@ -124,6 +161,7 @@ func (d *Data) Set(b []byte) {
 	for i := len(b); i < d.width; i++ {
 		d.val[i] = 0
 	}
+	*d.gp++
 	d.sigcore.changed()
 }
 
@@ -164,4 +202,68 @@ func allZero(b []byte) bool {
 		}
 	}
 	return true
+}
+
+// slabPad is the false-sharing guard between partition regions in the
+// signal slabs: no two partitions' state may share a 64-byte cache line.
+const slabPad = 64
+
+// buildSlabs moves every signal's value and generation state into
+// struct-of-arrays slabs grouped by owning partition, with padding between
+// partition regions so parallel settles never contend on a cache line.
+// Current values and generation counters are carried over — generations are
+// monotone across rebuilds, which is what lets observers cache them.
+func (s *Simulator) buildSlabs(nparts int) {
+	// Bucket signals by partition; unobserved signals (-1) share a trailing
+	// region, which is safe because nothing concurrent ever touches them.
+	bucket := func(part int32) int {
+		if part < 0 {
+			return nparts
+		}
+		return int(part)
+	}
+	wiresBy := make([][]*Wire, nparts+1)
+	datasBy := make([][]*Data, nparts+1)
+	bytesNeeded := 0
+	for _, w := range s.wires {
+		b := bucket(w.part)
+		wiresBy[b] = append(wiresBy[b], w)
+	}
+	for _, d := range s.datas {
+		b := bucket(d.part)
+		datasBy[b] = append(datasBy[b], d)
+		bytesNeeded += d.width
+	}
+
+	nsig := len(s.wires) + len(s.datas)
+	bools := make([]bool, len(s.wires)+slabPad*(nparts+1))
+	gens := make([]uint64, nsig+(slabPad/8+1)*(nparts+1))
+	// Each partition region costs at most one alignment round-up plus one
+	// trailing pad on top of its payload bytes.
+	arena := make([]byte, bytesNeeded+2*slabPad*(nparts+1))
+
+	bi, gi, ai := 0, 0, 0
+	for p := 0; p <= nparts; p++ {
+		ai = (ai + slabPad - 1) &^ (slabPad - 1)
+		for _, w := range wiresBy[p] {
+			bools[bi] = *w.vp
+			gens[gi] = *w.gp
+			w.vp = &bools[bi]
+			w.gp = &gens[gi]
+			bi++
+			gi++
+		}
+		for _, d := range datasBy[p] {
+			gens[gi] = *d.gp
+			d.gp = &gens[gi]
+			gi++
+			copy(arena[ai:ai+d.width], d.val)
+			d.val = arena[ai : ai+d.width : ai+d.width]
+			ai += d.width
+		}
+		bi += slabPad
+		gi += slabPad / 8
+		ai += slabPad
+	}
+	s.slabBools, s.slabGens, s.slabArena = bools, gens, arena
 }
