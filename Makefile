@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke telemetry-smoke serve-chaos-smoke ci bench tables examples fuzz clean
+.PHONY: all build vet lint staticcheck fmt-check test test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke ci bench tables examples fuzz clean
 
 all: build vet lint test
 
@@ -42,16 +42,24 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
-# Kernel golden regressions and the fuzz-smoke seed batch under the race
-# detector: the two suites that exercise both kernels concurrently.
+# Kernel golden regressions, the fuzz-smoke seed batch and the design
+# compiler's compiled-vs-golden matrix under the race detector: the suites
+# that exercise both kernels (and the parallel worker pool) concurrently.
 race-golden:
 	$(GO) test -race -count=1 -run 'TestKernelGolden' ./internal/eval
 	$(GO) test -race -count=1 ./internal/fuzz
+	$(GO) test -race -count=1 ./internal/design
 
 # Differential conformance fuzzer: fresh seeds must run clean and every
 # checked-in corpus reproducer must still fail its recorded oracle.
 fuzz-smoke:
 	$(GO) run ./cmd/vidi-fuzz -seeds 50 -corpus internal/fuzz/corpus
+
+# Coverage-guided search: the frontier must grow (≥ 1 novel coverage vector),
+# every oracle must stay clean, all five graph topology classes must be
+# exercised, and the coverage report lands in BENCH_coverage.json.
+fuzz-guided-smoke:
+	$(GO) run ./cmd/vidi-fuzz -guided -seeds 60 -min-new 1 -coverage-out BENCH_coverage.json
 
 # End-to-end telemetry smoke: an instrumented recording must emit a metrics
 # snapshot vidi-top can render and a timeline it validates as trace_event
@@ -71,7 +79,7 @@ serve-chaos-smoke:
 	$(GO) test -race -count=1 -run TestChaosMatrix ./internal/serve
 
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke telemetry-smoke serve-chaos-smoke
+ci: build vet lint staticcheck fmt-check test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 # Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs

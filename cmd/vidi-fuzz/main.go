@@ -1,9 +1,10 @@
 // vidi-fuzz is the differential conformance fuzzer's CLI. It generates
-// random-but-valid shell systems from seeds, runs each through the oracle
-// stack (kernel trace+VCD equality, record→replay exactness, protocol
-// cleanliness, end-to-end echo, §5.3 mutation probe), verifies the
-// checked-in regression corpus, and shrinks new failures to minimal
-// reproducers.
+// random-but-valid shell systems from seeds — most carrying a compiled
+// dataflow graph (internal/design) — runs each through the oracle stack
+// (kernel trace+VCD equality, record→replay exactness, protocol
+// cleanliness, end-to-end echo or golden-model conformance, §5.3 mutation
+// probe), verifies the checked-in regression corpus, and shrinks new
+// failures to minimal reproducers.
 //
 // Usage:
 //
@@ -13,11 +14,23 @@
 //	vidi-fuzz -seeds 50 -shrink               # shrink any failing seed before reporting
 //	vidi-fuzz -seeds 100 -bugs -shrink        # bug-hunting mode: inject buggy components
 //	vidi-fuzz -seeds 100 -bugs -trace-out failures.json   # Perfetto timeline per failing seed
+//	vidi-fuzz -guided -seeds 200              # coverage-guided search from the frontier
+//	vidi-fuzz -guided -seeds 60 -min-new 1 -coverage-out BENCH_coverage.json
 //
 // Exit status is non-zero when a fresh seed fails in clean mode or a corpus
 // entry stops reproducing its recorded failure. In -bugs mode failures are
 // the goal and do not affect the exit status; with -shrink and -corpus set,
 // shrunk finds are written to the corpus directory as found-<seed>.json.
+//
+// -guided switches the fresh-seed loop to coverage-guided search: each run's
+// scheduler telemetry, FIFO occupancy and graph topology are quantized into
+// a coverage vector, behaviorally novel scenarios form a frontier, and three
+// of every four runs mutate a frontier member instead of drawing a fresh
+// seed. The run report includes the frontier growth curve and a
+// generated-graph topology table; the run fails if any of the five topology
+// classes (fork, deal, loop, clockdiv, varlat) was never exercised, if any
+// oracle failed, or if fewer than -min-new novel vectors were found.
+// -coverage-out writes the report as JSON (the CI coverage artifact).
 //
 // -trace-out re-runs every failing fresh seed with the span tracer armed
 // and writes a trace_event JSON timeline per seed (the seed number is
@@ -27,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +66,9 @@ func main() {
 	shrink := flag.Bool("shrink", false, "shrink failing seeds to minimal reproducers")
 	bugs := flag.Bool("bugs", false, "inject buggy case-study components (bug-hunting mode)")
 	traceOut := flag.String("trace-out", "", "write a Perfetto timeline per failing seed (seed suffixed to the path)")
+	guided := flag.Bool("guided", false, "coverage-guided search: mutate behaviorally novel scenarios instead of fresh seeds only")
+	minNew := flag.Int("min-new", 1, "with -guided: minimum novel coverage vectors required for a passing run")
+	coverageOut := flag.String("coverage-out", "", "with -guided: write the coverage report JSON to this path")
 	verbose := flag.Bool("v", false, "print every seed's verdict")
 	flag.Parse()
 
@@ -84,9 +101,65 @@ func main() {
 		}
 	}
 
+	// Coverage-guided search: the frontier loop replaces the fresh-seed loop.
+	if *guided {
+		start := time.Now()
+		cfg := fuzz.GuidedConfig{Runs: *seeds, SeedBase: *seedBase, Gen: fuzz.DefaultGenOptions()}
+		if *verbose {
+			cfg.Progress = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		}
+		rep, err := fuzz.RunGuided(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("guided: %d runs (%d fresh, %d mutated) in %s: %d failing, %d novel coverage vectors\n",
+			rep.Runs, rep.Fresh, rep.Mutated, time.Since(start).Round(time.Millisecond),
+			rep.Failing, rep.NewVectors)
+		if n := len(rep.Growth); n > 0 {
+			curve := make([]int, 0, 11)
+			for i := 0; i < n; i += (n + 9) / 10 {
+				curve = append(curve, rep.Growth[i])
+			}
+			curve = append(curve, rep.Growth[n-1])
+			fmt.Printf("frontier growth: %v\n", curve)
+		}
+		t := rep.Topology
+		fmt.Printf("generated-graph topology (scenarios exercising each class):\n")
+		fmt.Printf("  fork %-4d deal %-4d loop %-4d clockdiv %-4d varlat %-4d graphless %d/%d\n",
+			t.Forks, t.Deals, t.Loops, t.ClockDivs, t.VarLat, t.Graphless, t.Scenarios)
+		for _, f := range rep.Failures {
+			fmt.Printf("  FAIL %s\n", f)
+		}
+		if *coverageOut != "" {
+			js, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*coverageOut, append(js, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("coverage report written to %s\n", *coverageOut)
+		}
+		if m := t.Missing(); len(m) > 0 {
+			fmt.Printf("guided: topology classes never exercised: %s\n", strings.Join(m, ", "))
+			bad++
+		}
+		if rep.NewVectors < *minNew {
+			fmt.Printf("guided: %d novel vectors < required %d\n", rep.NewVectors, *minNew)
+			bad++
+		}
+		bad += rep.Failing
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Fresh seeds.
 	start := time.Now()
 	ran, found := 0, 0
+	genOpt := fuzz.DefaultGenOptions()
+	genOpt.InjectBugs = *bugs
 	for i := 0; ; i++ {
 		if *duration > 0 {
 			if time.Since(start) > *duration {
@@ -96,7 +169,10 @@ func main() {
 			break
 		}
 		seed := *seedBase + int64(i)
-		sc := fuzz.Generate(seed, fuzz.GenOptions{InjectBugs: *bugs})
+		sc, err := fuzz.Generate(seed, genOpt)
+		if err != nil {
+			fail(err)
+		}
 		out := fuzz.RunSeed(sc)
 		ran++
 		if out.Failure == nil {

@@ -1,0 +1,58 @@
+package design
+
+// Builder API: a graph is composed from these transaction-level
+// constructors and sealed with New, which validates the whole structure.
+// Each constructor describes one temporal transaction — what happens to a
+// token as it moves through the stage — never wires or clocks; Compile
+// lowers the composed graph onto a simulator.
+//
+//	g, err := design.New(design.Pipe(
+//		design.Fifo(4),
+//		design.Fork("sub",
+//			design.Compute("mulc", 2, 3),
+//			design.Loop("xor", []uint32{1, 2}, design.Compute("not", 1, 0)),
+//		),
+//		design.ClockDiv(2),
+//	))
+
+// Fifo is a depth-bounded identity queue stage.
+func Fifo(depth int) Node { return Node{Kind: KindFifo, Depth: depth} }
+
+// Compute applies the named unary op with latency latBase + x%(latSpread+1)
+// cycles per token x — variable latency whenever latSpread > 0.
+func Compute(op string, latBase, latSpread int) Node {
+	return Node{Kind: KindCompute, Op: op, LatBase: latBase, LatSpread: latSpread}
+}
+
+// ClockDiv places an identity stage in a clock domain ratio times slower
+// than the system clock: handshakes complete only on the divided edges.
+func ClockDiv(ratio int) Node { return Node{Kind: KindClockDiv, Ratio: ratio} }
+
+// Pipe composes stages sequentially.
+func Pipe(stages ...Node) Node { return Node{Kind: KindPipe, Stages: stages} }
+
+// Fork duplicates every token to each branch and zip-joins the branch
+// outputs with a left fold of the binary op.
+func Fork(op string, branches ...Node) Node {
+	return Node{Kind: KindFork, Op: op, Branches: branches}
+}
+
+// Deal splits the stream round-robin across branches and merges it back in
+// order.
+func Deal(branches ...Node) Node { return Node{Kind: KindDeal, Branches: branches} }
+
+// Loop builds a feedback loop: the body consumes op(in, back) where back is
+// init followed by the body's own output. len(init) is the loop's constant
+// token population.
+func Loop(op string, init []uint32, body Node) Node {
+	return Node{Kind: KindLoop, Op: op, Init: append([]uint32(nil), init...), Body: &body}
+}
+
+// New seals a composed root into a validated Graph.
+func New(root Node) (*Graph, error) {
+	g := &Graph{Root: root}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

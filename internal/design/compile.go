@@ -1,0 +1,170 @@
+package design
+
+import (
+	"fmt"
+
+	"vidi/internal/sim"
+)
+
+// CompileOptions configure one lowering of a graph.
+type CompileOptions struct {
+	// Prefix namespaces the instance's channels (<prefix>.eN) and modules
+	// (<prefix>-<kind>N). Empty means "g".
+	Prefix string
+	// BugLoopInit loads every loop's initial feedback tokens in reverse
+	// order — the planted feedback-loop bug. Harmless unless some loop has
+	// two differing init tokens, which is exactly what a shrinker must
+	// preserve to keep the failure alive.
+	BugLoopInit bool
+	// BugJoinOrder folds every fork join right-to-left instead of
+	// left-to-right — the planted join-ordering bug. Observable only
+	// through a non-commutative fold over branches that transform
+	// differently.
+	BugJoinOrder bool
+}
+
+// Instance is one compiled graph: the modules registered on the simulator
+// plus introspection handles for the coverage features.
+type Instance struct {
+	graph *Graph
+	fifos []*sim.Fifo
+	mods  int
+	chans int
+}
+
+// Modules reports how many sim modules the graph lowered to.
+func (inst *Instance) Modules() int { return inst.mods }
+
+// Channels reports how many internal channels the graph lowered to.
+func (inst *Instance) Channels() int { return inst.chans }
+
+// OccupancyHist buckets every compiled fifo's high-water occupancy into
+// quartiles of its capacity — the channel-occupancy histogram the
+// coverage-guided fuzzer folds into its feature vector. Call after a run.
+func (inst *Instance) OccupancyHist() [4]int {
+	var hist [4]int
+	for _, f := range inst.fifos {
+		if f.Cap() == 0 {
+			continue
+		}
+		q := 4 * f.MaxLen() / f.Cap()
+		if q > 3 {
+			q = 3
+		}
+		hist[q]++
+	}
+	return hist
+}
+
+// Compile lowers the graph onto s as a module network transforming the
+// token stream arriving on in into the stream offered on out. The graph
+// must be valid.
+func (g *Graph) Compile(s *sim.Simulator, in, out *sim.Channel, opt CompileOptions) *Instance {
+	if opt.Prefix == "" {
+		opt.Prefix = "g"
+	}
+	c := &compiler{s: s, opt: opt, inst: &Instance{graph: g}}
+	c.node(&g.Root, in, out)
+	return c.inst
+}
+
+// compiler carries naming state through the lowering walk.
+type compiler struct {
+	s    *sim.Simulator
+	opt  CompileOptions
+	inst *Instance
+}
+
+func (c *compiler) channel() *sim.Channel {
+	ch := c.s.NewChannel(fmt.Sprintf("%s.e%d", c.opt.Prefix, c.inst.chans), tokBytes)
+	c.inst.chans++
+	return ch
+}
+
+func (c *compiler) name(kind string) string {
+	n := fmt.Sprintf("%s-%s%d", c.opt.Prefix, kind, c.inst.mods)
+	c.inst.mods++
+	return n
+}
+
+func (c *compiler) register(m sim.Module) { c.s.Register(m) }
+
+func (c *compiler) node(n *Node, in, out *sim.Channel) {
+	switch n.Kind {
+	case KindFifo:
+		f := sim.NewFifo(c.name("fifo"), in, out, n.Depth)
+		c.register(f)
+		c.inst.fifos = append(c.inst.fifos, f)
+
+	case KindCompute:
+		base, spread := n.LatBase, n.LatSpread
+		lat := func(x uint32) int { return base + int(x)%(spread+1) }
+		c.register(newCompute(c.name("comp"), in, out, unaryOps[n.Op], lat))
+
+	case KindClockDiv:
+		c.register(newClockDiv(c.name("cdiv"), in, out, n.Ratio))
+
+	case KindPipe:
+		cur := in
+		for i := range n.Stages {
+			next := out
+			if i < len(n.Stages)-1 {
+				next = c.channel()
+			}
+			c.node(&n.Stages[i], cur, next)
+			cur = next
+		}
+
+	case KindFork:
+		bins := make([]*sim.Channel, len(n.Branches))
+		bouts := make([]*sim.Channel, len(n.Branches))
+		for i := range n.Branches {
+			bins[i], bouts[i] = c.channel(), c.channel()
+		}
+		c.register(newFork(c.name("fork"), in, bins))
+		for i := range n.Branches {
+			c.node(&n.Branches[i], bins[i], bouts[i])
+		}
+		c.register(newJoin(c.name("join"), bouts, out, binaryOps[n.Op], c.opt.BugJoinOrder))
+
+	case KindDeal:
+		bins := make([]*sim.Channel, len(n.Branches))
+		bouts := make([]*sim.Channel, len(n.Branches))
+		for i := range n.Branches {
+			bins[i], bouts[i] = c.channel(), c.channel()
+		}
+		c.register(newDeal(c.name("deal"), in, bins))
+		for i := range n.Branches {
+			c.node(&n.Branches[i], bins[i], bouts[i])
+		}
+		c.register(newMerge(c.name("merge"), bouts, out))
+
+	case KindLoop:
+		// in ─┐
+		//     ├─ join ─ body ─ fork ─┬─ out
+		// back fifo (preloaded) ◄────┘
+		bodyIn, bodyOut := c.channel(), c.channel()
+		backIn, backOut := c.channel(), c.channel()
+		// The loop join is always in-order (external operand first): the
+		// join-ordering bug is a fork-join property, keeping the two
+		// planted bugs orthogonal for the shrinker study.
+		c.register(newJoin(c.name("ljoin"), []*sim.Channel{in, backOut}, bodyIn,
+			binaryOps[n.Op], false))
+		c.node(n.Body, bodyIn, bodyOut)
+		c.register(newFork(c.name("lfork"), bodyOut, []*sim.Channel{out, backIn}))
+		// The feedback population is constant (one pop per push), so
+		// init+2 slots can never deadlock the back edge.
+		back := sim.NewFifo(c.name("back"), backIn, backOut, len(n.Init)+2)
+		init := append([]uint32(nil), n.Init...)
+		if c.opt.BugLoopInit {
+			for i, j := 0, len(init)-1; i < j; i, j = i+1, j-1 {
+				init[i], init[j] = init[j], init[i]
+			}
+		}
+		for _, v := range init {
+			back.Preload(encTok(v))
+		}
+		c.register(back)
+		c.inst.fifos = append(c.inst.fifos, back)
+	}
+}

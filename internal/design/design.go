@@ -1,0 +1,410 @@
+// Package design is Vidi's transaction-level design compiler: a small
+// builder API for dataflow graphs — pipelines, fan-out/join, round-robin
+// dealers, feedback loops with initial tokens, multi-clock-ratio stages and
+// variable-latency compute — that compile into sim module networks with
+// declared Sensitivities, paired with a cycle-free software golden model
+// that predicts the exact output stream for any graph and input.
+//
+// The abstraction follows Cement2-style temporal hardware transactions:
+// every node is a stream transformer that consumes exactly one 32-bit token
+// per output token (rate-1), with timing (latency, clock ratio, buffering)
+// orthogonal to function. Rate-1 causality is what makes the golden model
+// trivial and exact: the k-th output token depends only on input tokens
+// 0..k, regardless of how the compiled hardware schedules the handshakes,
+// so one pass of a stateful software interpreter predicts the full stream.
+//
+// Graphs serialize to JSON (the fuzzer's Scenario embeds one), validate
+// with typed errors, and shrink through Reductions — the building blocks of
+// the coverage-guided differential scenario farm.
+package design
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Node kinds.
+const (
+	// KindFifo is a depth-bounded identity queue.
+	KindFifo = "fifo"
+	// KindCompute applies a unary op with value-dependent latency.
+	KindCompute = "compute"
+	// KindClockDiv is an identity stage in a slow clock domain: tokens move
+	// only every Ratio-th cycle.
+	KindClockDiv = "clockdiv"
+	// KindPipe is the sequential composition of its Stages.
+	KindPipe = "pipe"
+	// KindFork duplicates each token to every branch and zip-joins the
+	// branch outputs with a left fold of the binary Op.
+	KindFork = "fork"
+	// KindDeal splits tokens round-robin across its branches and merges
+	// them back round-robin, preserving order.
+	KindDeal = "deal"
+	// KindLoop feeds the body's output back: token k of the body input is
+	// Op(in[k], back[k]) where back is Init followed by the body's own
+	// output stream (a feedback loop with len(Init) initial tokens).
+	KindLoop = "loop"
+)
+
+// Structural limits enforced by Validate. They keep compiled designs and
+// shrink searches tractable and bound recursion on hostile inputs.
+const (
+	MaxNodes = 256
+	MaxDepth = 12
+
+	maxFifoDepth  = 64
+	maxLatBase    = 16
+	maxLatSpread  = 15
+	maxClockRatio = 8
+	maxBranches   = 4
+	maxInitTokens = 8
+)
+
+// Node is one dataflow operator. Exactly the fields of its Kind may be set;
+// Validate rejects stray fields so every accepted graph has one canonical
+// JSON form.
+type Node struct {
+	Kind string `json:"kind"`
+	// Depth is the fifo capacity (KindFifo).
+	Depth int `json:"depth,omitempty"`
+	// Op names the unary op (KindCompute) or binary fold op
+	// (KindFork/KindLoop).
+	Op string `json:"op,omitempty"`
+	// LatBase/LatSpread set compute latency: LatBase + token%(LatSpread+1)
+	// cycles, so latency varies with the data when LatSpread > 0.
+	LatBase   int `json:"lat_base,omitempty"`
+	LatSpread int `json:"lat_spread,omitempty"`
+	// Ratio is the clock divider (KindClockDiv).
+	Ratio int `json:"ratio,omitempty"`
+	// Stages is the pipeline body (KindPipe).
+	Stages []Node `json:"stages,omitempty"`
+	// Branches are the parallel arms (KindFork/KindDeal).
+	Branches []Node `json:"branches,omitempty"`
+	// Body is the loop body (KindLoop).
+	Body *Node `json:"body,omitempty"`
+	// Init are the loop's initial feedback tokens (KindLoop).
+	Init []uint32 `json:"init,omitempty"`
+}
+
+// Graph is a validated dataflow design: one root node transforming the
+// input stream into the output stream.
+type Graph struct {
+	Root Node `json:"root"`
+}
+
+// GraphError is the typed validation error: every rejection of a graph —
+// including malformed JSON — wraps ErrInvalidGraph and names the offending
+// node path.
+type GraphError struct {
+	Path   string
+	Reason string
+}
+
+// ErrInvalidGraph is the sentinel all graph rejections wrap.
+var ErrInvalidGraph = errors.New("design: invalid graph")
+
+func (e *GraphError) Error() string {
+	return fmt.Sprintf("design: invalid graph at %s: %s", e.Path, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidGraph) hold.
+func (e *GraphError) Unwrap() error { return ErrInvalidGraph }
+
+func badNode(path, format string, args ...any) error {
+	return &GraphError{Path: path, Reason: fmt.Sprintf(format, args...)}
+}
+
+// unaryOps are the compute ops: bijective mixers so distinct inputs stay
+// distinct through any pipeline (the echo oracle keeps full discrimination).
+var unaryOps = map[string]func(uint32) uint32{
+	"not":  func(x uint32) uint32 { return ^x },
+	"addc": func(x uint32) uint32 { return x + 0x9E3779B9 },
+	"mulc": func(x uint32) uint32 { return x * 2654435761 },
+	"rotl": func(x uint32) uint32 { return x<<13 | x>>19 },
+	"xorc": func(x uint32) uint32 { return x ^ 0xA5A5A5A5 },
+}
+
+// binaryOps fold fork branches and loop feedback. "sub" and "shx" are
+// deliberately non-commutative: they make operand order observable, which
+// is what lets the oracles catch join-ordering bugs.
+var binaryOps = map[string]func(a, b uint32) uint32{
+	"xor": func(a, b uint32) uint32 { return a ^ b },
+	"add": func(a, b uint32) uint32 { return a + b },
+	"sub": func(a, b uint32) uint32 { return a - b },
+	"shx": func(a, b uint32) uint32 { return a<<1 ^ b },
+}
+
+// UnaryOps lists the valid compute op names (sorted for generators).
+func UnaryOps() []string { return []string{"addc", "mulc", "not", "rotl", "xorc"} }
+
+// BinaryOps lists the valid fold op names (sorted for generators).
+func BinaryOps() []string { return []string{"add", "shx", "sub", "xor"} }
+
+// Validate checks the whole graph against the structural rules and limits.
+func (g *Graph) Validate() error {
+	n := 0
+	return g.Root.validate("root", 1, &n)
+}
+
+func (n *Node) validate(path string, depth int, count *int) error {
+	if depth > MaxDepth {
+		return badNode(path, "nesting depth exceeds %d", MaxDepth)
+	}
+	*count++
+	if *count > MaxNodes {
+		return badNode(path, "graph exceeds %d nodes", MaxNodes)
+	}
+	// Stray-field audit: every field not belonging to the kind must be
+	// zero, so accepted graphs have exactly one JSON encoding.
+	allow := func(depth, op, lat, ratio, stages, branches, body, init bool) error {
+		if !depth && n.Depth != 0 {
+			return badNode(path, "%s node must not set depth", n.Kind)
+		}
+		if !op && n.Op != "" {
+			return badNode(path, "%s node must not set op", n.Kind)
+		}
+		if !lat && (n.LatBase != 0 || n.LatSpread != 0) {
+			return badNode(path, "%s node must not set latency", n.Kind)
+		}
+		if !ratio && n.Ratio != 0 {
+			return badNode(path, "%s node must not set ratio", n.Kind)
+		}
+		if !stages && n.Stages != nil {
+			return badNode(path, "%s node must not set stages", n.Kind)
+		}
+		if !branches && n.Branches != nil {
+			return badNode(path, "%s node must not set branches", n.Kind)
+		}
+		if !body && n.Body != nil {
+			return badNode(path, "%s node must not set body", n.Kind)
+		}
+		if !init && n.Init != nil {
+			return badNode(path, "%s node must not set init", n.Kind)
+		}
+		return nil
+	}
+	switch n.Kind {
+	case KindFifo:
+		if err := allow(true, false, false, false, false, false, false, false); err != nil {
+			return err
+		}
+		if n.Depth < 1 || n.Depth > maxFifoDepth {
+			return badNode(path, "fifo depth %d outside 1..%d", n.Depth, maxFifoDepth)
+		}
+	case KindCompute:
+		if err := allow(false, true, true, false, false, false, false, false); err != nil {
+			return err
+		}
+		if _, ok := unaryOps[n.Op]; !ok {
+			return badNode(path, "unknown compute op %q", n.Op)
+		}
+		if n.LatBase < 1 || n.LatBase > maxLatBase {
+			return badNode(path, "compute lat_base %d outside 1..%d", n.LatBase, maxLatBase)
+		}
+		if n.LatSpread < 0 || n.LatSpread > maxLatSpread {
+			return badNode(path, "compute lat_spread %d outside 0..%d", n.LatSpread, maxLatSpread)
+		}
+	case KindClockDiv:
+		if err := allow(false, false, false, true, false, false, false, false); err != nil {
+			return err
+		}
+		if n.Ratio < 2 || n.Ratio > maxClockRatio {
+			return badNode(path, "clockdiv ratio %d outside 2..%d", n.Ratio, maxClockRatio)
+		}
+	case KindPipe:
+		if err := allow(false, false, false, false, true, false, false, false); err != nil {
+			return err
+		}
+		if len(n.Stages) < 1 {
+			return badNode(path, "pipe needs at least one stage")
+		}
+		for i := range n.Stages {
+			if err := n.Stages[i].validate(fmt.Sprintf("%s.stages[%d]", path, i), depth+1, count); err != nil {
+				return err
+			}
+		}
+	case KindFork:
+		if err := allow(false, true, false, false, false, true, false, false); err != nil {
+			return err
+		}
+		if _, ok := binaryOps[n.Op]; !ok {
+			return badNode(path, "unknown fork fold op %q", n.Op)
+		}
+		if len(n.Branches) < 2 || len(n.Branches) > maxBranches {
+			return badNode(path, "fork needs 2..%d branches, got %d", maxBranches, len(n.Branches))
+		}
+		for i := range n.Branches {
+			if err := n.Branches[i].validate(fmt.Sprintf("%s.branches[%d]", path, i), depth+1, count); err != nil {
+				return err
+			}
+		}
+	case KindDeal:
+		if err := allow(false, false, false, false, false, true, false, false); err != nil {
+			return err
+		}
+		if len(n.Branches) < 2 || len(n.Branches) > maxBranches {
+			return badNode(path, "deal needs 2..%d branches, got %d", maxBranches, len(n.Branches))
+		}
+		for i := range n.Branches {
+			if err := n.Branches[i].validate(fmt.Sprintf("%s.branches[%d]", path, i), depth+1, count); err != nil {
+				return err
+			}
+		}
+	case KindLoop:
+		if err := allow(false, true, false, false, false, false, true, true); err != nil {
+			return err
+		}
+		if _, ok := binaryOps[n.Op]; !ok {
+			return badNode(path, "unknown loop fold op %q", n.Op)
+		}
+		if n.Body == nil {
+			return badNode(path, "loop needs a body")
+		}
+		if len(n.Init) < 1 || len(n.Init) > maxInitTokens {
+			return badNode(path, "loop needs 1..%d initial tokens, got %d", maxInitTokens, len(n.Init))
+		}
+		if err := n.Body.validate(path+".body", depth+1, count); err != nil {
+			return err
+		}
+	case "":
+		return badNode(path, "missing kind")
+	default:
+		return badNode(path, "unknown kind %q", n.Kind)
+	}
+	return nil
+}
+
+// FromJSON decodes and validates a graph. Any rejection — malformed JSON,
+// unknown fields, structural violations — is a *GraphError wrapping
+// ErrInvalidGraph, so callers (and the fuzz target) can rely on typed
+// failures only.
+func FromJSON(b []byte) (*Graph, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	g := &Graph{}
+	if err := dec.Decode(g); err != nil {
+		return nil, &GraphError{Path: "json", Reason: err.Error()}
+	}
+	// Trailing garbage after the object is a rejection, not an accept.
+	if dec.More() {
+		return nil, &GraphError{Path: "json", Reason: "trailing data after graph object"}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// JSON is the canonical encoding. Validated graphs re-encode to a fixpoint:
+// FromJSON(g.JSON()).JSON() == g.JSON().
+func (g *Graph) JSON() []byte {
+	b, err := json.Marshal(g)
+	if err != nil {
+		// Node contains only marshalable fields; this cannot fail.
+		panic("design: graph marshal: " + err.Error())
+	}
+	return b
+}
+
+// Clone deep-copies the graph (shrink and mutation candidates edit copies).
+func (g *Graph) Clone() *Graph {
+	if g == nil {
+		return nil
+	}
+	return &Graph{Root: *g.Root.clone()}
+}
+
+func (n *Node) clone() *Node {
+	c := *n
+	c.Stages = nil
+	for i := range n.Stages {
+		c.Stages = append(c.Stages, *n.Stages[i].clone())
+	}
+	c.Branches = nil
+	for i := range n.Branches {
+		c.Branches = append(c.Branches, *n.Branches[i].clone())
+	}
+	if n.Body != nil {
+		c.Body = n.Body.clone()
+	}
+	c.Init = append([]uint32(nil), n.Init...)
+	return &c
+}
+
+// Stats summarizes a graph's topology; the fuzzer's coverage vectors and
+// run reports aggregate these per-kind counts.
+type Stats struct {
+	Nodes     int `json:"nodes"`
+	Depth     int `json:"depth"`
+	Fifos     int `json:"fifos"`
+	Computes  int `json:"computes"`
+	VarLat    int `json:"var_lat"`
+	ClockDivs int `json:"clock_divs"`
+	Forks     int `json:"forks"`
+	Deals     int `json:"deals"`
+	Loops     int `json:"loops"`
+	// InitTokens is the total feedback population across loops.
+	InitTokens int `json:"init_tokens"`
+	// MaxFanout is the widest fork/deal.
+	MaxFanout int `json:"max_fanout"`
+	// Weight is the shrinker's secondary metric: total configured depth,
+	// latency, ratio and init tokens.
+	Weight int `json:"-"`
+}
+
+// Stats walks the graph. Safe on unvalidated graphs (the fuzz target calls
+// it on anything the decoder accepted).
+func (g *Graph) Stats() Stats {
+	st := Stats{}
+	g.Root.stats(&st, 1)
+	return st
+}
+
+func (n *Node) stats(st *Stats, depth int) {
+	if depth > MaxDepth+1 {
+		return
+	}
+	st.Nodes++
+	if depth > st.Depth {
+		st.Depth = depth
+	}
+	switch n.Kind {
+	case KindFifo:
+		st.Fifos++
+		st.Weight += n.Depth
+	case KindCompute:
+		st.Computes++
+		if n.LatSpread > 0 {
+			st.VarLat++
+		}
+		st.Weight += n.LatBase + n.LatSpread
+	case KindClockDiv:
+		st.ClockDivs++
+		st.Weight += n.Ratio
+	case KindFork:
+		st.Forks++
+		if len(n.Branches) > st.MaxFanout {
+			st.MaxFanout = len(n.Branches)
+		}
+	case KindDeal:
+		st.Deals++
+		if len(n.Branches) > st.MaxFanout {
+			st.MaxFanout = len(n.Branches)
+		}
+	case KindLoop:
+		st.Loops++
+		st.InitTokens += len(n.Init)
+		st.Weight += len(n.Init)
+	}
+	for i := range n.Stages {
+		n.Stages[i].stats(st, depth+1)
+	}
+	for i := range n.Branches {
+		n.Branches[i].stats(st, depth+1)
+	}
+	if n.Body != nil {
+		n.Body.stats(st, depth+1)
+	}
+}

@@ -1,0 +1,71 @@
+package design
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vidi/internal/sim"
+)
+
+// FuzzGraphCompile feeds arbitrary bytes to the graph codec and drives every
+// accepted graph through stats, the golden model and the compiler. The
+// contract mirrors FuzzFrameDecode's: never panic, reject only with typed
+// errors (*GraphError wrapping ErrInvalidGraph), and re-encode accepted
+// graphs to a fixpoint.
+func FuzzGraphCompile(f *testing.F) {
+	f.Add([]byte(`{"root":{"kind":"fifo","depth":3}}`))
+	f.Add([]byte(`{"root":{"kind":"compute","op":"mulc","lat_base":2,"lat_spread":3}}`))
+	f.Add([]byte(`{"root":{"kind":"clockdiv","ratio":4}}`))
+	for seed := int64(0); seed < 8; seed++ {
+		g := Random(sim.NewRand(seed), RandOptions{MaxNodes: 16, MaxDepth: 4})
+		f.Add(g.JSON())
+	}
+	f.Add([]byte(`{"root":{"kind":"loop","op":"sub","init":[1],"body":{"kind":"fifo","depth":9}}}`))
+	f.Add([]byte(`{"root":{"kind":"fork","op":"xor","branches":[]}}`))
+	f.Add([]byte(`{"root":{"kind":"pipe","stages":[{"kind":"pipe","stages":[{"kind":"fifo"}]}]}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"root":{"kind":"fifo","depth":1}}garbage`))
+	f.Add([]byte(`{"root":{"kind":"fifo","depth":1},"extra":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := FromJSON(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidGraph) {
+				t.Fatalf("rejection does not wrap ErrInvalidGraph: %v", err)
+			}
+			var ge *GraphError
+			if !errors.As(err, &ge) {
+				t.Fatalf("rejection is not a *GraphError: %v", err)
+			}
+			return
+		}
+		// Accepted ⇒ canonical: the encoding must be a decode/encode
+		// fixpoint.
+		enc := g.JSON()
+		back, err := FromJSON(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(back.JSON(), enc) {
+			t.Fatalf("JSON not a fixpoint:\n%s\n%s", enc, back.JSON())
+		}
+		// Accepted ⇒ analyzable and compilable: stats, golden prediction
+		// and lowering must all be total.
+		st := g.Stats()
+		if st.Nodes < 1 || st.Nodes > MaxNodes {
+			t.Fatalf("stats out of bounds for an accepted graph: %+v", st)
+		}
+		in := []uint32{0, 1, 0xFFFFFFFF, 2, 3, 4, 5, 6}
+		if out := g.Golden(in); len(out) != len(in) {
+			t.Fatalf("golden model is not rate-1: %d in, %d out", len(in), len(out))
+		}
+		s := sim.New()
+		inCh := s.NewChannel("f.in", tokBytes)
+		outCh := s.NewChannel("f.out", tokBytes)
+		inst := g.Compile(s, inCh, outCh, CompileOptions{BugLoopInit: true, BugJoinOrder: true})
+		if inst.Modules() < 1 {
+			t.Fatalf("accepted graph compiled to no modules: %s", enc)
+		}
+	})
+}

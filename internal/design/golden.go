@@ -1,0 +1,116 @@
+package design
+
+// The golden model: a cycle-free stream interpreter. Every node kind is a
+// rate-1 causal stream function, so each has a software stepper that maps
+// one input token to exactly one output token while carrying whatever state
+// the kind needs (fold position, feedback queue). No clocks, no handshakes,
+// no latencies — which is the point: the compiled hardware must produce
+// this exact stream no matter how its timing plays out.
+
+// stepper is the software twin of one compiled node.
+type stepper interface {
+	step(x uint32) uint32
+}
+
+// Golden predicts the output stream for the input stream. It never fails on
+// a validated graph and runs in O(len(in) · nodes).
+func (g *Graph) Golden(in []uint32) []uint32 {
+	st := g.Root.newStepper()
+	out := make([]uint32, len(in))
+	for i, x := range in {
+		out[i] = st.step(x)
+	}
+	return out
+}
+
+// identityStep covers fifo and clockdiv: pure timing, no function.
+type identityStep struct{}
+
+func (identityStep) step(x uint32) uint32 { return x }
+
+type computeStep struct{ fn func(uint32) uint32 }
+
+func (s computeStep) step(x uint32) uint32 { return s.fn(x) }
+
+type pipeStep struct{ stages []stepper }
+
+func (s pipeStep) step(x uint32) uint32 {
+	for _, st := range s.stages {
+		x = st.step(x)
+	}
+	return x
+}
+
+type forkStep struct {
+	branches []stepper
+	fold     func(a, b uint32) uint32
+}
+
+func (s forkStep) step(x uint32) uint32 {
+	acc := s.branches[0].step(x)
+	for _, br := range s.branches[1:] {
+		acc = s.fold(acc, br.step(x))
+	}
+	return acc
+}
+
+type dealStep struct {
+	branches []stepper
+	idx      int
+}
+
+func (s *dealStep) step(x uint32) uint32 {
+	y := s.branches[s.idx].step(x)
+	s.idx = (s.idx + 1) % len(s.branches)
+	return y
+}
+
+type loopStep struct {
+	body stepper
+	fold func(a, b uint32) uint32
+	back []uint32 // pending feedback tokens, oldest first
+}
+
+func (s *loopStep) step(x uint32) uint32 {
+	b := s.back[0]
+	s.back = s.back[1:]
+	y := s.body.step(s.fold(x, b))
+	s.back = append(s.back, y)
+	return y
+}
+
+func (n *Node) newStepper() stepper {
+	switch n.Kind {
+	case KindFifo, KindClockDiv:
+		return identityStep{}
+	case KindCompute:
+		return computeStep{fn: unaryOps[n.Op]}
+	case KindPipe:
+		stages := make([]stepper, len(n.Stages))
+		for i := range n.Stages {
+			stages[i] = n.Stages[i].newStepper()
+		}
+		return pipeStep{stages: stages}
+	case KindFork:
+		branches := make([]stepper, len(n.Branches))
+		for i := range n.Branches {
+			branches[i] = n.Branches[i].newStepper()
+		}
+		return forkStep{branches: branches, fold: binaryOps[n.Op]}
+	case KindDeal:
+		branches := make([]stepper, len(n.Branches))
+		for i := range n.Branches {
+			branches[i] = n.Branches[i].newStepper()
+		}
+		return &dealStep{branches: branches}
+	case KindLoop:
+		return &loopStep{
+			body: n.Body.newStepper(),
+			fold: binaryOps[n.Op],
+			back: append([]uint32(nil), n.Init...),
+		}
+	default:
+		// Unvalidated kind: treat as identity so Golden is total.
+		return identityStep{}
+	}
+}

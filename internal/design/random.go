@@ -1,0 +1,237 @@
+package design
+
+import "math/rand"
+
+// RandOptions bound random generation and mutation.
+type RandOptions struct {
+	// MaxNodes caps the generated graph's node count (≥ 1).
+	MaxNodes int
+	// MaxDepth caps nesting (≥ 1).
+	MaxDepth int
+}
+
+// Random draws a valid graph from rng within the bounds. The distribution
+// deliberately over-weights the structured kinds (fork/deal/loop/clockdiv/
+// variable-latency compute) so even small seed batches exercise every
+// topology class the oracles discriminate on.
+func Random(rng *rand.Rand, opt RandOptions) *Graph {
+	budget := opt.MaxNodes
+	root := randNode(rng, opt.MaxDepth, &budget)
+	g := &Graph{Root: root}
+	if err := g.Validate(); err != nil {
+		// The recursive construction respects every limit by design.
+		panic("design: Random generated an invalid graph: " + err.Error())
+	}
+	return g
+}
+
+func randLeaf(rng *rand.Rand) Node {
+	switch rng.Intn(4) {
+	case 0:
+		return Fifo(1 + rng.Intn(8))
+	case 1:
+		return ClockDiv(2 + rng.Intn(3))
+	default:
+		ops := UnaryOps()
+		spread := 0
+		if rng.Intn(2) == 0 {
+			spread = 1 + rng.Intn(7)
+		}
+		return Compute(ops[rng.Intn(len(ops))], 1+rng.Intn(4), spread)
+	}
+}
+
+func randBinOp(rng *rand.Rand) string {
+	ops := BinaryOps()
+	return ops[rng.Intn(len(ops))]
+}
+
+// randNode consumes at least one unit of budget and never exceeds it.
+func randNode(rng *rand.Rand, depth int, budget *int) Node {
+	*budget--
+	if depth <= 1 || *budget < 2 {
+		return randLeaf(rng)
+	}
+	switch rng.Intn(8) {
+	case 0, 1: // pipe
+		n := 2 + rng.Intn(3)
+		var stages []Node
+		for i := 0; i < n && (*budget > 0 || i < 1); i++ {
+			stages = append(stages, randNode(rng, depth-1, budget))
+		}
+		return Pipe(stages...)
+	case 2, 3: // fork
+		n := 2
+		if *budget > 4 && rng.Intn(3) == 0 {
+			n = 3
+		}
+		var branches []Node
+		for i := 0; i < n; i++ {
+			branches = append(branches, randNode(rng, depth-1, budget))
+		}
+		return Fork(randBinOp(rng), branches...)
+	case 4: // deal
+		n := 2
+		if *budget > 4 && rng.Intn(3) == 0 {
+			n = 3
+		}
+		var branches []Node
+		for i := 0; i < n; i++ {
+			branches = append(branches, randNode(rng, depth-1, budget))
+		}
+		return Deal(branches...)
+	case 5: // loop
+		init := make([]uint32, 1+rng.Intn(3))
+		for i := range init {
+			init[i] = rng.Uint32()
+		}
+		return Loop(randBinOp(rng), init, randNode(rng, depth-1, budget))
+	default:
+		return randLeaf(rng)
+	}
+}
+
+// nodePtrs flattens a graph into its node pointers in a stable pre-order,
+// so a position in one clone addresses the same node in another.
+func nodePtrs(g *Graph) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for i := range n.Stages {
+			walk(&n.Stages[i])
+		}
+		for i := range n.Branches {
+			walk(&n.Branches[i])
+		}
+		if n.Body != nil {
+			walk(n.Body)
+		}
+	}
+	walk(&g.Root)
+	return out
+}
+
+// Mutate derives a neighbouring valid graph: tweak one node's parameters,
+// swap a leaf, wrap a node in new structure, or graft a stage. Used by the
+// coverage-guided fuzzer to explore outward from frontier scenarios. The
+// result is always valid; if every attempted edit violates a bound, a fresh
+// Random graph is returned instead.
+func Mutate(rng *rand.Rand, g *Graph, opt RandOptions) *Graph {
+	for attempt := 0; attempt < 8; attempt++ {
+		c := g.Clone()
+		ptrs := nodePtrs(c)
+		n := ptrs[rng.Intn(len(ptrs))]
+		switch rng.Intn(5) {
+		case 0: // retune parameters in place
+			tweak(rng, n)
+		case 1: // swap for a fresh leaf
+			*n = randLeaf(rng)
+		case 2: // wrap in a fork against a fresh leaf
+			*n = Fork(randBinOp(rng), *n.clone(), randLeaf(rng))
+		case 3: // wrap in a feedback loop
+			init := make([]uint32, 1+rng.Intn(2))
+			for i := range init {
+				init[i] = rng.Uint32()
+			}
+			*n = Loop(randBinOp(rng), init, *n.clone())
+		case 4: // extend into a pipe with a fresh leaf
+			*n = Pipe(*n.clone(), randLeaf(rng))
+		}
+		if c.Validate() == nil {
+			return c
+		}
+	}
+	return Random(rng, opt)
+}
+
+func tweak(rng *rand.Rand, n *Node) {
+	switch n.Kind {
+	case KindFifo:
+		n.Depth = 1 + rng.Intn(maxFifoDepth/4)
+	case KindCompute:
+		ops := UnaryOps()
+		n.Op = ops[rng.Intn(len(ops))]
+		n.LatBase = 1 + rng.Intn(4)
+		n.LatSpread = rng.Intn(8)
+	case KindClockDiv:
+		n.Ratio = 2 + rng.Intn(maxClockRatio-1)
+	case KindFork, KindLoop:
+		n.Op = randBinOp(rng)
+		if n.Kind == KindLoop {
+			for i := range n.Init {
+				n.Init[i] = rng.Uint32()
+			}
+		}
+	}
+}
+
+// Reductions proposes one-step shrinks of g: drop a pipe stage, drop or
+// collapse a fork/deal branch, unroll a loop to its body, shorten its init,
+// flatten latency, or demote a timed stage to a unit fifo. Every candidate
+// is valid and strictly smaller in (node count, weight); the fuzzer's
+// shrinker interleaves them with its workload reductions.
+func Reductions(g *Graph) []*Graph {
+	var out []*Graph
+	base := g.Stats()
+	// at clones g, applies f to the node at position i, and keeps the
+	// result when it validates and strictly shrinks.
+	at := func(i int, f func(n *Node)) {
+		c := g.Clone()
+		f(nodePtrs(c)[i])
+		if c.Validate() != nil {
+			return
+		}
+		st := c.Stats()
+		if st.Nodes < base.Nodes || (st.Nodes == base.Nodes && st.Weight < base.Weight) {
+			out = append(out, c)
+		}
+	}
+	for i, n := range nodePtrs(g) {
+		switch n.Kind {
+		case KindPipe:
+			for j := range n.Stages {
+				j := j
+				if len(n.Stages) == 1 {
+					at(i, func(n *Node) { *n = *n.Stages[0].clone() })
+				} else {
+					at(i, func(n *Node) {
+						n.Stages = append(n.Stages[:j:j], n.Stages[j+1:]...)
+					})
+				}
+			}
+		case KindFork, KindDeal:
+			for j := range n.Branches {
+				j := j
+				// Collapse the whole node to one branch…
+				at(i, func(n *Node) { *n = *n.Branches[j].clone() })
+				// …or drop one branch, keeping the join/merge.
+				if len(n.Branches) > 2 {
+					at(i, func(n *Node) {
+						n.Branches = append(n.Branches[:j:j], n.Branches[j+1:]...)
+					})
+				}
+			}
+		case KindLoop:
+			at(i, func(n *Node) { *n = *n.Body.clone() })
+			if len(n.Init) > 1 {
+				at(i, func(n *Node) { n.Init = n.Init[:len(n.Init)-1] })
+			}
+		case KindCompute:
+			if n.LatSpread > 0 {
+				at(i, func(n *Node) { n.LatSpread = 0 })
+			}
+			if n.LatBase > 1 {
+				at(i, func(n *Node) { n.LatBase = 1 })
+			}
+			at(i, func(n *Node) { *n = Fifo(1) })
+		case KindClockDiv:
+			at(i, func(n *Node) { *n = Fifo(1) })
+		case KindFifo:
+			if n.Depth > 1 {
+				at(i, func(n *Node) { n.Depth = 1 })
+			}
+		}
+	}
+	return out
+}

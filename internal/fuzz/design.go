@@ -6,6 +6,7 @@ import (
 
 	"vidi/internal/axi"
 	"vidi/internal/bugs"
+	"vidi/internal/design"
 	"vidi/internal/shell"
 	"vidi/internal/sim"
 )
@@ -16,17 +17,19 @@ const OutBase = 0x20_0000
 // fragBytes is the payload width of one pipeline fragment.
 const fragBytes = 4
 
-// design instantiates a Scenario's FPGA-side pipeline on a shell system:
+// pipeline instantiates a Scenario's FPGA-side design on a shell system:
 //
-//	pcis → front → FrameFIFO → pump → [fifo stages…] → drain → (filter) → pcim
+//	pcis → front → FrameFIFO → pump → [fifo stages…] → (graph) → drain → (filter) → pcim
 //
 // The CPU DMA-writes frames over pcis; the front splits each 512-bit beat
 // into sixteen 32-bit fragments and pushes whole frames into a FrameFIFO
 // (the §5.2 case-study component); once started via an OCL register write
-// the pump drains fragments into a chain of generic FIFO stages; the drain
-// reassembles 64-byte chunks and writes them back to host DRAM over pcim,
-// optionally through the §5.3 atop filter. Completion raises one interrupt.
-type design struct {
+// the pump drains fragments into a chain of generic FIFO stages and then,
+// when the scenario carries one, through a compiled dataflow graph
+// (internal/design); the drain reassembles 64-byte chunks and writes them
+// back to host DRAM over pcim, optionally through the §5.3 atop filter.
+// Completion raises one interrupt.
+type pipeline struct {
 	sc   *Scenario
 	sys  *shell.System
 	fifo *bugs.FrameFIFO
@@ -37,15 +40,16 @@ type design struct {
 	writer *axi.WriteManager
 	filter *bugs.AtopFilter
 	irq    *sim.Sender
+	inst   *design.Instance
 
-	// Sent is the payload T1 DMA-writes; the echo oracle compares host DRAM
-	// at OutBase against it after a record run.
+	// Sent is the payload T1 DMA-writes; the data oracles predict host DRAM
+	// at OutBase from it after a record run.
 	Sent []byte
 }
 
 // newDesign builds the pipeline onto sys. The scenario must be valid.
-func newDesign(sc *Scenario, sys *shell.System) *design {
-	d := &design{sc: sc, sys: sys}
+func newDesign(sc *Scenario, sys *shell.System) *pipeline {
+	d := &pipeline{sc: sc, sys: sys}
 	s := sys.Sim
 
 	d.fifo = bugs.NewFrameFIFO(sc.FIFOFrags, sc.FIFOBuggy)
@@ -75,6 +79,19 @@ func newDesign(sc *Scenario, sys *shell.System) *design {
 
 	d.pump = &pump{ctl: ctl, fifo: d.fifo, out: head, rate: sc.DrainRate}
 	s.Register(d.pump)
+
+	// Compiled dataflow graph between the FIFO chain and the drain. The
+	// fragments become its rate-1 token stream; the drain consumes its
+	// output channel instead of the chain tail.
+	if sc.Graph != nil {
+		gout := s.NewChannel("fz.gout", fragBytes)
+		d.inst = sc.Graph.Compile(s, ch, gout, design.CompileOptions{
+			Prefix:       "fzg",
+			BugLoopInit:  sc.BugLoopInit,
+			BugJoinOrder: sc.BugJoinOrder,
+		})
+		ch = gout
+	}
 
 	// Write-back target: pcim directly, or through the atop filter.
 	target := sys.PCIM
@@ -107,7 +124,7 @@ func newDesign(sc *Scenario, sys *shell.System) *design {
 }
 
 // Program enqueues the host-side workload.
-func (d *design) Program(cpu *shell.CPU) {
+func (d *pipeline) Program(cpu *shell.CPU) {
 	sc := d.sc
 	rng := sim.NewRand(sc.Seed ^ 0xda7a)
 	d.Sent = make([]byte, sc.Frames*64)
@@ -143,19 +160,58 @@ func (d *design) Program(cpu *shell.CPU) {
 
 // Done reports FPGA-side quiescence: the completion interrupt was sent and
 // every write-back fully completed.
-func (d *design) Done() bool {
+func (d *pipeline) Done() bool {
 	return d.drain.irqSent && d.writer.Idle() && d.front.idle()
 }
 
-// EchoErr compares host DRAM against the sent payload (record runs only).
-// A buggy FrameFIFO that dropped fragments shifts the write-back stream, so
-// the comparison fails — the end-to-end data oracle.
-func (d *design) EchoErr() error {
+// LossErr reports fragments dropped at ingress by the buggy FrameFIFO.
+// The golden oracle is only meaningful on a loss-free run, so the harness
+// checks loss first and attributes it separately.
+func (d *pipeline) LossErr() error {
+	if n := len(d.fifo.Dropped); n > 0 {
+		return fmt.Errorf("fuzz: FrameFIFO dropped %d fragments (first at arrival %d)",
+			n, d.fifo.Dropped[0])
+	}
+	return nil
+}
+
+// EchoErr compares host DRAM against the sent payload (graph-free record
+// runs only). A buggy FrameFIFO that dropped fragments shifts the write-back
+// stream, so the comparison fails — the end-to-end data oracle.
+func (d *pipeline) EchoErr() error {
 	got := []byte(d.sys.HostDRAM[OutBase : OutBase+len(d.Sent)])
 	for i := range got {
 		if got[i] != d.Sent[i] {
 			return fmt.Errorf("fuzz: echo mismatch at byte %d (dropped fragments: %d)",
 				i, len(d.fifo.Dropped))
+		}
+	}
+	return nil
+}
+
+// GoldenErr compares host DRAM against the design package's cycle-free
+// golden-model prediction over the sent fragment stream — the differential
+// oracle for graph-carrying scenarios. Only valid when LossErr is nil: a
+// drop at ingress shifts the token stream and the prediction with it.
+func (d *pipeline) GoldenErr() error {
+	frags := make([]uint32, len(d.Sent)/fragBytes)
+	for i := range frags {
+		frags[i] = binary.LittleEndian.Uint32(d.Sent[i*fragBytes:])
+	}
+	pred := frags
+	if d.sc.Graph != nil {
+		pred = d.sc.Graph.Golden(frags)
+	}
+	want := make([]byte, len(pred)*fragBytes)
+	for i, v := range pred {
+		binary.LittleEndian.PutUint32(want[i*fragBytes:], v)
+	}
+	got := []byte(d.sys.HostDRAM[OutBase : OutBase+len(want)])
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf(
+				"fuzz: golden divergence at byte %d (fragment %d): got %#02x, golden model predicts %#02x",
+				i, i/fragBytes, got[i], want[i])
 		}
 	}
 	return nil

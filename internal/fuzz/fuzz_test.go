@@ -3,14 +3,33 @@ package fuzz
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 )
 
+// genOpt is the test-side generator configuration: the vidi-fuzz defaults
+// with bug injection toggled.
+func genOpt(bugs bool) GenOptions {
+	opt := DefaultGenOptions()
+	opt.InjectBugs = bugs
+	return opt
+}
+
+// mustGen generates a scenario or fails the test.
+func mustGen(t *testing.T, seed int64, opt GenOptions) *Scenario {
+	t.Helper()
+	sc, err := Generate(seed, opt)
+	if err != nil {
+		t.Fatalf("seed %d: Generate: %v", seed, err)
+	}
+	return sc
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
-		a := Generate(seed, GenOptions{InjectBugs: seed%2 == 0})
-		b := Generate(seed, GenOptions{InjectBugs: seed%2 == 0})
+		a := mustGen(t, seed, genOpt(seed%2 == 0))
+		b := mustGen(t, seed, genOpt(seed%2 == 0))
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("seed %d: generator not deterministic:\n%+v\n%+v", seed, a, b)
 		}
@@ -22,15 +41,56 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateCleanModeNeverInjectsBugs(t *testing.T) {
 	for seed := int64(0); seed < 500; seed++ {
-		sc := Generate(seed, GenOptions{})
-		if sc.FIFOBuggy || sc.Filter == "buggy" {
+		sc := mustGen(t, seed, genOpt(false))
+		if sc.FIFOBuggy || sc.Filter == "buggy" || sc.BugLoopInit || sc.BugJoinOrder {
 			t.Fatalf("seed %d: clean-mode generator emitted a buggy component: %+v", seed, sc)
 		}
 	}
 }
 
+// TestGenerateValidatesOptions pins the typed rejection of out-of-range
+// generator bounds.
+func TestGenerateValidatesOptions(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*GenOptions)
+		field string
+	}{
+		{"zero frames", func(o *GenOptions) { o.MaxFrames = 0 }, "MaxFrames"},
+		{"one frame", func(o *GenOptions) { o.MaxFrames = 1 }, "MaxFrames"},
+		{"negative frames", func(o *GenOptions) { o.MaxFrames = -4 }, "MaxFrames"},
+		{"zero stages", func(o *GenOptions) { o.MaxStages = 0 }, "MaxStages"},
+		{"negative stages", func(o *GenOptions) { o.MaxStages = -1 }, "MaxStages"},
+		{"zero graph nodes", func(o *GenOptions) { o.MaxGraphNodes = 0 }, "MaxGraphNodes"},
+		{"negative graph nodes", func(o *GenOptions) { o.MaxGraphNodes = -2 }, "MaxGraphNodes"},
+		{"zero graph depth", func(o *GenOptions) { o.MaxGraphDepth = 0 }, "MaxGraphDepth"},
+		{"negative graph pct", func(o *GenOptions) { o.GraphPct = -1 }, "GraphPct"},
+		{"oversized graph pct", func(o *GenOptions) { o.GraphPct = 101 }, "GraphPct"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := DefaultGenOptions()
+			tc.tweak(&opt)
+			sc, err := Generate(1, opt)
+			if sc != nil || err == nil {
+				t.Fatalf("expected rejection, got sc=%v err=%v", sc, err)
+			}
+			var ge *GenOptionsError
+			if !errors.As(err, &ge) {
+				t.Fatalf("error is not a *GenOptionsError: %v", err)
+			}
+			if ge.Field != tc.field {
+				t.Fatalf("rejected field %q, expected %q (%v)", ge.Field, tc.field, err)
+			}
+		})
+	}
+	if _, err := Generate(1, DefaultGenOptions()); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
 func TestScenarioJSONRoundTrip(t *testing.T) {
-	sc := Generate(7, GenOptions{InjectBugs: true})
+	sc := mustGen(t, 7, genOpt(true))
 	b, err := sc.MarshalIndent()
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +112,7 @@ func TestFuzzSmokeClean(t *testing.T) {
 		n = 12
 	}
 	for seed := int64(0); seed < n; seed++ {
-		sc := Generate(seed, GenOptions{})
+		sc := mustGen(t, seed, genOpt(false))
 		if out := RunSeed(sc); out.Failure != nil {
 			t.Errorf("seed %d: %v\nscenario: %+v", seed, out.Failure, sc)
 		}
@@ -63,7 +123,7 @@ func TestFuzzSmokeClean(t *testing.T) {
 // two record runs of the same scenario must produce byte-identical traces
 // and VCD dumps (without this property shrinking would be meaningless).
 func TestSameSeedSameTrace(t *testing.T) {
-	sc := Generate(3, GenOptions{})
+	sc := mustGen(t, 3, genOpt(false))
 	a := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog})
 	b := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog})
 	if a.err != nil || b.err != nil {
@@ -78,15 +138,16 @@ func TestSameSeedSameTrace(t *testing.T) {
 }
 
 // TestCorpusRediscoversCaseStudies pins the permanent regression corpus:
-// each checked-in shrunk reproducer must still fail its recorded oracle, and
-// the two entries must cover the two internal/bugs case studies.
+// each checked-in shrunk reproducer must still fail its recorded oracle, the
+// entries must cover the two internal/bugs case studies, and the two planted
+// design-compiler bugs must be pinned by golden-divergence reproducers.
 func TestCorpusRediscoversCaseStudies(t *testing.T) {
 	entries, err := LoadCorpus("corpus")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) < 2 {
-		t.Fatalf("expected ≥ 2 corpus entries, got %d", len(entries))
+	if len(entries) < 4 {
+		t.Fatalf("expected ≥ 4 corpus entries, got %d", len(entries))
 	}
 	byName := map[string]*CorpusEntry{}
 	for _, e := range entries {
@@ -106,6 +167,14 @@ func TestCorpusRediscoversCaseStudies(t *testing.T) {
 	if e := byName["framefifo"]; e == nil || !e.Scenario.FIFOBuggy || e.Kind != FailEcho {
 		t.Error("corpus must pin the §5.2 frame-FIFO data loss")
 	}
+	if e := byName["loopinit"]; e == nil || !e.Scenario.BugLoopInit ||
+		e.Scenario.Graph == nil || e.Scenario.Graph.Stats().Loops == 0 || e.Kind != FailGolden {
+		t.Error("corpus must pin the planted feedback-loop init-order compiler bug")
+	}
+	if e := byName["joinorder"]; e == nil || !e.Scenario.BugJoinOrder ||
+		e.Scenario.Graph == nil || e.Scenario.Graph.Stats().Forks == 0 || e.Kind != FailGolden {
+		t.Error("corpus must pin the planted join-ordering compiler bug")
+	}
 }
 
 // TestCorpusShrunkFromOrigin re-derives each corpus entry's original failing
@@ -117,7 +186,7 @@ func TestCorpusShrunkFromOrigin(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		orig := Generate(e.OriginSeed, GenOptions{InjectBugs: true})
+		orig := mustGen(t, e.OriginSeed, genOpt(true))
 		if orig.Size() != e.OriginSize {
 			t.Errorf("%s: origin seed %d now generates size %d, recorded %d",
 				e.Name, e.OriginSeed, orig.Size(), e.OriginSize)
@@ -147,7 +216,7 @@ func TestShrinkPreservesFailureKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		orig := Generate(e.OriginSeed, GenOptions{InjectBugs: true})
+		orig := mustGen(t, e.OriginSeed, genOpt(true))
 		shrunk, runs := Shrink(orig, e.Kind, nil)
 		out := RunSeed(shrunk)
 		if out.Failure == nil || out.Failure.Kind != e.Kind {

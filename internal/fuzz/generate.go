@@ -1,6 +1,9 @@
 package fuzz
 
 import (
+	"fmt"
+
+	"vidi/internal/design"
 	"vidi/internal/fault"
 	"vidi/internal/sim"
 )
@@ -8,28 +11,92 @@ import (
 // GenOptions configures the generator.
 type GenOptions struct {
 	// InjectBugs lets the generator emit scenarios carrying the buggy
-	// FrameFIFO or atop-filter revisions. Off by default: a clean main tree
-	// must fuzz clean, so buggy components only appear when hunting for the
-	// regression corpus (vidi-fuzz -bugs) or in checked-in corpus entries.
+	// FrameFIFO or atop-filter revisions, and arm the compiler's planted
+	// graph bugs on graph-carrying scenarios. Off by default: a clean main
+	// tree must fuzz clean, so buggy components only appear when hunting for
+	// the regression corpus (vidi-fuzz -bugs) or in checked-in corpus
+	// entries.
 	InjectBugs bool
+	// MaxFrames bounds the DMA workload (≥ 2: one full frame plus at least
+	// one more so back-pressure is reachable).
+	MaxFrames int
+	// MaxStages bounds the FIFO chain length (≥ 1).
+	MaxStages int
+	// MaxGraphNodes bounds generated dataflow graphs (≥ 1).
+	MaxGraphNodes int
+	// MaxGraphDepth bounds generated graph nesting (≥ 1).
+	MaxGraphDepth int
+	// GraphPct is the percentage of scenarios carrying a compiled graph
+	// (0..100).
+	GraphPct int
 }
 
-// Generate derives a random-but-valid scenario from seed. The same seed
-// always yields the same scenario; with InjectBugs off the scenario contains
-// only fixed components, so it must pass every oracle on a healthy tree.
-func Generate(seed int64, opt GenOptions) *Scenario {
+// DefaultGenOptions returns the bounds vidi-fuzz and the tests use.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		MaxFrames:     10,
+		MaxStages:     3,
+		MaxGraphNodes: 20,
+		MaxGraphDepth: 4,
+		GraphPct:      75,
+	}
+}
+
+// GenOptionsError reports an out-of-range generator bound.
+type GenOptionsError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+func (e *GenOptionsError) Error() string {
+	return fmt.Sprintf("fuzz: GenOptions.%s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// validate rejects bounds under which the generator cannot make progress.
+func (opt GenOptions) validate() error {
+	switch {
+	case opt.MaxFrames < 2:
+		return &GenOptionsError{"MaxFrames", opt.MaxFrames, "must be ≥ 2 (one frame plus back-pressure headroom)"}
+	case opt.MaxStages < 1:
+		return &GenOptionsError{"MaxStages", opt.MaxStages, "must be ≥ 1"}
+	case opt.MaxGraphNodes < 1:
+		return &GenOptionsError{"MaxGraphNodes", opt.MaxGraphNodes, "must be ≥ 1"}
+	case opt.MaxGraphDepth < 1:
+		return &GenOptionsError{"MaxGraphDepth", opt.MaxGraphDepth, "must be ≥ 1"}
+	case opt.GraphPct < 0 || opt.GraphPct > 100:
+		return &GenOptionsError{"GraphPct", opt.GraphPct, "must be in 0..100"}
+	}
+	return nil
+}
+
+// Generate derives a random-but-valid scenario from seed. The same seed and
+// options always yield the same scenario; with InjectBugs off the scenario
+// contains only fixed components, so it must pass every oracle on a healthy
+// tree. Out-of-range options return a *GenOptionsError.
+func Generate(seed int64, opt GenOptions) (*Scenario, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	rng := sim.NewRand(seed)
 	sc := &Scenario{Seed: seed}
 
-	sc.Frames = 2 + rng.Intn(9) // 2..10 64-byte frames
+	sc.Frames = 2 + rng.Intn(opt.MaxFrames-1) // 2..MaxFrames 64-byte frames
 	maxFrags := sc.Frames * 16
 	sc.FIFOFrags = 16 + rng.Intn(maxFrags) // ≥ one frame
 	if sc.FIFOFrags > maxFrags {
 		sc.FIFOFrags = maxFrags
 	}
 
-	for i, n := 0, rng.Intn(4); i < n; i++ { // 0..3 chain stages
+	for i, n := 0, rng.Intn(opt.MaxStages+1); i < n; i++ {
 		sc.Stages = append(sc.Stages, 1+rng.Intn(8))
+	}
+
+	if rng.Intn(100) < opt.GraphPct {
+		sc.Graph = design.Random(rng, design.RandOptions{
+			MaxNodes: opt.MaxGraphNodes,
+			MaxDepth: opt.MaxGraphDepth,
+		})
 	}
 
 	if rng.Intn(2) == 0 {
@@ -86,6 +153,17 @@ func Generate(seed int64, opt GenOptions) *Scenario {
 			// mutation, never naturally: the probe is the detector.
 			sc.MutateProbe = true
 		}
+		// The planted compiler bugs only matter on graphs whose topology can
+		// express them.
+		if sc.Graph != nil {
+			st := sc.Graph.Stats()
+			if st.Loops > 0 && rng.Intn(3) == 0 {
+				sc.BugLoopInit = true
+			}
+			if st.Forks > 0 && rng.Intn(3) == 0 {
+				sc.BugJoinOrder = true
+			}
+		}
 	}
-	return sc
+	return sc, nil
 }

@@ -23,6 +23,10 @@ const (
 	// FailEcho: host DRAM after the run differs from the DMA-written
 	// payload (end-to-end data loss or corruption).
 	FailEcho FailureKind = "echo-mismatch"
+	// FailGolden: a graph-carrying design's host-DRAM bytes differ from the
+	// design package's cycle-free golden-model prediction (the differential
+	// compiler oracle).
+	FailGolden FailureKind = "golden-divergence"
 	// FailKernel: legacy fixpoint and sensitivity-graph scheduler produced
 	// different traces or VCD dumps for the same seed.
 	FailKernel FailureKind = "kernel-divergence"
@@ -67,6 +71,8 @@ const (
 // runOpts selects one execution of a scenario.
 type runOpts struct {
 	legacy   bool
+	workers  int          // scheduler worker count when > 0
+	noCheck  bool         // disable the dynamic sensitivity audit
 	replay   *trace.Trace // nil = record mode
 	record   bool         // attach a recording (validation) monitor
 	faults   bool         // arm the scenario's fault plan
@@ -80,7 +86,7 @@ type runOpts struct {
 type runResult struct {
 	tr     *trace.Trace
 	vcd    []byte
-	design *design
+	design *pipeline
 	cycles uint64
 	err    error
 }
@@ -97,6 +103,9 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 		Telemetry: o.tel,
 	})
 	sys.Sim.SetLegacy(o.legacy)
+	if o.workers > 0 {
+		sys.Sim.SetWorkers(o.workers)
+	}
 	if o.tel != nil {
 		sys.Sim.SetTelemetry(o.tel)
 	}
@@ -104,7 +113,9 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 	// scheduler-side runs execute with declaration checking armed, so a
 	// generated module touching a signal outside its declared Sensitivity
 	// surfaces as a run error (finding) instead of a silent missed wakeup.
-	sys.Sim.SetSensitivityCheck(!o.legacy)
+	// The audit forces sequential execution, so runs that exist to exercise
+	// parallel worker pools opt out via noCheck.
+	sys.Sim.SetSensitivityCheck(!o.legacy && !o.noCheck)
 	if o.watchdog > 0 {
 		sys.Sim.WatchdogWindow = o.watchdog
 	}
@@ -168,8 +179,11 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 
 // RunSeed executes the full oracle stack for sc:
 //
-//  1. record on the scheduler kernel; the run must complete cleanly and the
-//     echoed bytes in host DRAM must equal the sent payload;
+//  1. record on the scheduler kernel; the run must complete cleanly with no
+//     ingress loss, and the bytes in host DRAM must match the data oracle —
+//     the sent payload for graph-free designs (echo), or the design
+//     package's golden-model prediction for graph-carrying ones
+//     (differential compiler conformance);
 //  2. record on the legacy kernel; trace and VCD must be byte-identical to
 //     the scheduler kernel's (differential kernel conformance);
 //  3. replay the recorded trace; the validation trace must compare clean
@@ -177,59 +191,78 @@ func runScenario(sc *Scenario, o runOpts) *runResult {
 //  4. if MutateProbe: replay a copy with the first pcim W end legally moved
 //     before its AW end; the design must still complete.
 func RunSeed(sc *Scenario) *Outcome {
+	out, _ := runOracles(sc, nil)
+	return out
+}
+
+// runOracles is RunSeed with an optional telemetry sink attached to the
+// scheduler-kernel record leg, whose run result is returned for coverage
+// extraction (nil when the scenario failed validation).
+func runOracles(sc *Scenario, tel *telemetry.Sink) (*Outcome, *runResult) {
 	out := &Outcome{Scenario: sc}
 	if err := sc.Validate(); err != nil {
 		out.Failure = &Failure{Kind: FailRun, Detail: err.Error()}
-		return out
+		return out, nil
 	}
 
-	// Oracle 1: clean completion + end-to-end echo on the scheduler kernel.
-	rec := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog})
+	// Oracle 1: clean completion + data integrity on the scheduler kernel.
+	// Ingress loss is attributed first (FailEcho, the §5.2 signature); a
+	// loss-free graph run is then held to the golden model exactly.
+	rec := runScenario(sc, runOpts{record: true, faults: true, vcd: true, watchdog: recordWatchdog, tel: tel})
 	out.Cycles = rec.cycles
 	if rec.err != nil {
 		out.Failure = &Failure{Kind: FailRun, Detail: fmt.Sprintf("record (scheduler kernel): %v", rec.err)}
-		return out
+		return out, rec
 	}
-	if err := rec.design.EchoErr(); err != nil {
+	if err := rec.design.LossErr(); err != nil {
 		out.Failure = &Failure{Kind: FailEcho, Detail: err.Error()}
-		return out
+		return out, rec
+	}
+	if sc.Graph == nil {
+		if err := rec.design.EchoErr(); err != nil {
+			out.Failure = &Failure{Kind: FailEcho, Detail: err.Error()}
+			return out, rec
+		}
+	} else if err := rec.design.GoldenErr(); err != nil {
+		out.Failure = &Failure{Kind: FailGolden, Detail: err.Error()}
+		return out, rec
 	}
 
 	// Oracle 2: the legacy fixpoint kernel must reproduce the same bytes.
 	leg := runScenario(sc, runOpts{legacy: true, record: true, faults: true, vcd: true, watchdog: recordWatchdog})
 	if leg.err != nil {
 		out.Failure = &Failure{Kind: FailRun, Detail: fmt.Sprintf("record (legacy kernel): %v", leg.err)}
-		return out
+		return out, rec
 	}
 	if !bytes.Equal(rec.tr.Bytes(), leg.tr.Bytes()) {
 		out.Failure = &Failure{Kind: FailKernel, Detail: "trace bytes differ between kernels"}
-		return out
+		return out, rec
 	}
 	if !bytes.Equal(rec.vcd, leg.vcd) {
 		out.Failure = &Failure{Kind: FailKernel, Detail: "VCD bytes differ between kernels"}
-		return out
+		return out, rec
 	}
 
 	// Oracle 3: record → replay exactness (including degraded gaps).
 	rep := runScenario(sc, runOpts{replay: mustCopy(rec.tr), record: true, watchdog: recordWatchdog})
 	if rep.err != nil {
 		out.Failure = &Failure{Kind: FailReplay, Detail: fmt.Sprintf("replay run: %v", rep.err)}
-		return out
+		return out, rec
 	}
 	report, err := core.Compare(rec.tr, rep.tr)
 	if err != nil {
 		out.Failure = &Failure{Kind: FailReplay, Detail: fmt.Sprintf("compare: %v", err)}
-		return out
+		return out, rec
 	}
 	out.Unrecorded = report.Unrecorded
 	if !report.Clean() {
 		out.Failure = &Failure{Kind: FailReplay, Detail: report.String()}
-		return out
+		return out, rec
 	}
 	if !sc.Degraded && report.Unrecorded > 0 {
 		out.Failure = &Failure{Kind: FailReplay,
 			Detail: fmt.Sprintf("%d unrecorded transactions without degraded recording", report.Unrecorded)}
-		return out
+		return out, rec
 	}
 
 	// Oracle 4: legal-interleaving robustness (§5.3 mutation probe).
@@ -240,12 +273,12 @@ func RunSeed(sc *Scenario) *Outcome {
 			if probe.err != nil {
 				out.Failure = &Failure{Kind: FailMutation,
 					Detail: fmt.Sprintf("mutated replay (W end before AW end on pcim): %v", probe.err)}
-				return out
+				return out, rec
 			}
 		}
 		// No pcim write transaction to reorder (fully lossy run): skip.
 	}
-	return out
+	return out, rec
 }
 
 // TraceSeed re-runs sc's recording (scheduler kernel, faults armed) with the

@@ -1,24 +1,30 @@
 // Package fuzz is Vidi's differential conformance fuzzer: a seeded random
-// design-and-workload generator, a four-oracle harness that cross-checks the
-// two simulation kernels, record→replay exactness, protocol cleanliness and
-// legal-interleaving robustness on every generated system, and a greedy
-// shrinker that reduces failing scenarios to minimal reproducers suitable
-// for a checked-in regression corpus.
+// design-and-workload generator, a five-oracle harness that cross-checks the
+// two simulation kernels, record→replay exactness, protocol cleanliness,
+// legal-interleaving robustness and the design compiler's golden model on
+// every generated system, and a greedy shrinker that reduces failing
+// scenarios to minimal reproducers suitable for a checked-in regression
+// corpus.
 //
-// The generated systems are echo pipelines — CPU DMA frames in over pcis,
-// fragments through a FrameFIFO and a random chain of FIFO stages, bytes
-// back out to host DRAM over pcim — because a data-preserving design gives
-// the harness a free end-to-end oracle (output bytes must equal input bytes)
-// on top of the trace-level ones. The pipeline deliberately reuses the two
-// case-study components from internal/bugs (the frame FIFO and the atop
-// filter) so that, with bug injection enabled, the fuzzer rediscovers the
-// paper's §5.2 and §5.3 bugs from random seeds.
+// The generated systems are transform pipelines — CPU DMA frames in over
+// pcis, fragments through a FrameFIFO, an optional compiled dataflow graph
+// (internal/design: fan-out/join, dealers, feedback loops, clock dividers,
+// variable-latency compute), bytes back out to host DRAM over pcim. A
+// data-preserving design gives the harness a free end-to-end oracle; a
+// graph-carrying design upgrades it to a differential one: the bytes in
+// host DRAM must equal the design package's cycle-free golden-model
+// prediction exactly. The pipeline deliberately reuses the two case-study
+// components from internal/bugs (the frame FIFO and the atop filter) so
+// that, with bug injection enabled, the fuzzer rediscovers the paper's §5.2
+// and §5.3 bugs — and the compiler's two planted graph bugs — from random
+// seeds.
 package fuzz
 
 import (
 	"encoding/json"
 	"fmt"
 
+	"vidi/internal/design"
 	"vidi/internal/fault"
 )
 
@@ -52,6 +58,16 @@ type Scenario struct {
 	FIFOBuggy bool `json:"fifo_buggy,omitempty"`
 	// Stages are the depths of the FIFO chain between pump and drain.
 	Stages []int `json:"stages,omitempty"`
+	// Graph, when present, is a compiled dataflow design (internal/design)
+	// interposed between the FIFO chain and the drain; the 32-bit fragments
+	// are its token stream and the golden model predicts the drain bytes.
+	Graph *design.Graph `json:"graph,omitempty"`
+	// BugLoopInit arms the compiler's planted feedback-loop bug (loop
+	// initial tokens loaded in reverse order). Requires Graph.
+	BugLoopInit bool `json:"bug_loop_init,omitempty"`
+	// BugJoinOrder arms the compiler's planted join-ordering bug (fork
+	// joins folded right-to-left). Requires Graph.
+	BugJoinOrder bool `json:"bug_join_order,omitempty"`
 	// Filter interposes the §5.3 atop filter on the pcim write-back path:
 	// "" (absent), "fixed", or "buggy".
 	Filter string `json:"filter,omitempty"`
@@ -75,15 +91,19 @@ type Scenario struct {
 	MutateProbe bool `json:"mutate_probe,omitempty"`
 }
 
-// Size is the shrink metric: one unit per frame, pipeline stage, noise op
-// and fault, plus one per enabled feature flag. The shrinker minimizes it;
-// the corpus acceptance criterion compares it against the originally
-// generated scenario's size.
+// Size is the shrink metric: one unit per frame, pipeline stage, graph
+// node, noise op and fault, plus one per enabled feature flag. The shrinker
+// minimizes it; the corpus acceptance criterion compares it against the
+// originally generated scenario's size.
 func (sc *Scenario) Size() int {
 	n := sc.Frames + len(sc.Stages) + len(sc.Noise) + len(sc.Faults)
+	if sc.Graph != nil {
+		n += sc.Graph.Stats().Nodes
+	}
 	for _, on := range []bool{
 		sc.FIFOBuggy, sc.Filter != "", sc.StartDelay > 0,
 		sc.JitterMax > 0, sc.Degraded, sc.MutateProbe,
+		sc.BugLoopInit, sc.BugJoinOrder,
 	} {
 		if on {
 			n++
@@ -112,6 +132,13 @@ func (sc *Scenario) Validate() error {
 		if d < 1 {
 			return fmt.Errorf("fuzz: stage depth must be ≥ 1, got %d", d)
 		}
+	}
+	if sc.Graph != nil {
+		if err := sc.Graph.Validate(); err != nil {
+			return err
+		}
+	} else if sc.BugLoopInit || sc.BugJoinOrder {
+		return fmt.Errorf("fuzz: compiler bug knobs require a graph")
 	}
 	for _, op := range sc.Noise {
 		if op.Bus != 1 && op.Bus != 2 {
@@ -161,6 +188,7 @@ func (sc *Scenario) clone() *Scenario {
 	c.Stages = append([]int(nil), sc.Stages...)
 	c.Noise = append([]NoiseOp(nil), sc.Noise...)
 	c.Faults = append([]string(nil), sc.Faults...)
+	c.Graph = sc.Graph.Clone()
 	return &c
 }
 

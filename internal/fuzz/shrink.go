@@ -1,9 +1,13 @@
 package fuzz
 
+import "vidi/internal/design"
+
 // Shrink greedily reduces a failing scenario to a minimal reproducer. Each
 // round proposes candidate reductions — drop a pipeline stage, halve or
 // decrement the frame count, drop noise ops, zero the jitter, remove faults,
-// shorten the start delay, disable degraded recording — and keeps a
+// shorten the start delay, disable degraded recording, drop or structurally
+// reduce the embedded dataflow graph (via design.Reductions), disarm a
+// planted compiler bug — and keeps a
 // candidate only if the harness still fails with the SAME failure kind
 // (a reduction that merely fails differently is a different bug and is
 // rejected). Rounds repeat until a fixpoint. Returns the shrunk scenario
@@ -55,6 +59,9 @@ func weight(sc *Scenario) int {
 	for _, d := range sc.Stages {
 		w += d
 	}
+	if sc.Graph != nil {
+		w += sc.Graph.Stats().Weight
+	}
 	return w
 }
 
@@ -69,6 +76,9 @@ func candidates(sc *Scenario) []*Scenario {
 	}
 
 	// Big structural cuts first.
+	if sc.Graph != nil {
+		mod(func(c *Scenario) { c.Graph = nil; c.BugLoopInit = false; c.BugJoinOrder = false })
+	}
 	if len(sc.Stages) > 0 {
 		mod(func(c *Scenario) { c.Stages = nil })
 	}
@@ -77,6 +87,23 @@ func candidates(sc *Scenario) []*Scenario {
 	}
 	if sc.Frames > 2 {
 		mod(func(c *Scenario) { c.Frames = c.Frames / 2 })
+	}
+	// Graph-aware cuts: the design package proposes strictly smaller valid
+	// sub-graphs (drop a pipe stage, collapse a fork, unroll a loop, …).
+	if sc.Graph != nil {
+		for _, red := range design.Reductions(sc.Graph) {
+			red := red
+			mod(func(c *Scenario) {
+				c.Graph = red
+				st := red.Stats()
+				if st.Loops == 0 {
+					c.BugLoopInit = false
+				}
+				if st.Forks == 0 {
+					c.BugJoinOrder = false
+				}
+			})
+		}
 	}
 	// Then one-element cuts.
 	for i := range sc.Stages {
@@ -117,6 +144,12 @@ func candidates(sc *Scenario) []*Scenario {
 	}
 	if sc.FIFOBuggy {
 		mod(func(c *Scenario) { c.FIFOBuggy = false })
+	}
+	if sc.BugLoopInit {
+		mod(func(c *Scenario) { c.BugLoopInit = false })
+	}
+	if sc.BugJoinOrder {
+		mod(func(c *Scenario) { c.BugJoinOrder = false })
 	}
 	return out
 }

@@ -158,11 +158,12 @@ func (r *Receiver) Tick() {
 // acts as the receiver of in and the sender of out.
 type Fifo struct {
 	EvalTracker
-	name  string
-	in    *Channel
-	out   *Channel
-	depth int
-	buf   [][]byte
+	name   string
+	in     *Channel
+	out    *Channel
+	depth  int
+	buf    [][]byte
+	maxLen int
 }
 
 // NewFifo creates a FIFO of the given depth connecting in to out.
@@ -175,6 +176,29 @@ func (f *Fifo) Name() string { return f.name }
 
 // Len reports the current occupancy.
 func (f *Fifo) Len() int { return len(f.buf) }
+
+// Cap reports the configured depth.
+func (f *Fifo) Cap() int { return f.depth }
+
+// MaxLen reports the high-water occupancy observed so far (including
+// preloaded tokens) — the basis of occupancy histograms in coverage
+// feedback.
+func (f *Fifo) MaxLen() int { return f.maxLen }
+
+// Preload appends an initial token before the run starts, seeding feedback
+// loops with their initial population. b is copied. Preloading beyond the
+// configured depth panics: that design could never exist in hardware.
+func (f *Fifo) Preload(b []byte) {
+	if len(f.buf) >= f.depth {
+		panic("sim: Fifo.Preload beyond capacity of " + f.name)
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	f.buf = append(f.buf, c)
+	if len(f.buf) > f.maxLen {
+		f.maxLen = len(f.buf)
+	}
+}
 
 // Eval implements Module.
 func (f *Fifo) Eval() {
@@ -205,6 +229,9 @@ func (f *Fifo) Tick() {
 	}
 	if f.in.Fired() {
 		f.buf = append(f.buf, f.in.Data.Snapshot())
+		if len(f.buf) > f.maxLen {
+			f.maxLen = len(f.buf)
+		}
 		f.Touch()
 	}
 }
