@@ -1,23 +1,32 @@
-// Command vidi-lint runs the vidi analyzer suite (sensaudit, handshake)
-// over Go packages. It works in two modes:
+// Command vidi-lint runs the vidi analyzer suite (sensaudit, handshake,
+// detaudit, partwrite) over Go packages. It works in two modes:
 //
 // Standalone, over go-list patterns:
 //
 //	vidi-lint ./...
 //	vidi-lint -analyzers sensaudit ./internal/axi
+//	vidi-lint -tests -json ./...
+//	vidi-lint -waivers ./...
 //
 // As a go vet tool, which reuses vet's build-cache-driven package loading:
 //
 //	go vet -vettool=$(which vidi-lint) ./...
 //
+// Flags (standalone mode only): -analyzers selects a comma-separated
+// subset; -tests additionally analyzes each package's _test.go variant;
+// -json emits machine-readable diagnostics on stdout; -waivers inventories
+// every `//lint:` directive with its reason instead of running the
+// analyzers (combinable with -json, emitted as a CI artifact).
+//
 // Exit status is 0 when no diagnostics were reported, 1 when findings
 // exist, 2 on a loading or internal error. Diagnostics are suppressed by
-// `//lint:sensaudit <reason>` / `//lint:handshake <reason>` comments on the
-// diagnosed line, the line above it, or the enclosing function's doc
-// comment; the reason is mandatory.
+// `//lint:<analyzer> <reason>` comments on the diagnosed line, the line
+// above it, or the enclosing function's doc comment; the reason is
+// mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +37,15 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func run(args []string) int {
@@ -47,6 +65,9 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("vidi-lint", flag.ContinueOnError)
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	tests := fs.Bool("tests", false, "also analyze each package's _test.go variant")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	waivers := fs.Bool("waivers", false, "inventory //lint: waivers instead of running the analyzers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,23 +85,72 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
 		return 2
 	}
-	ld, err := analysis.NewLoader(wd, patterns...)
+	ld, err := analysis.NewLoaderWithTests(wd, *tests, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
 		return 2
 	}
+
+	if *waivers {
+		ws := analysis.Waivers(ld, analyzers)
+		if *asJSON {
+			if ws == nil {
+				ws = []analysis.WaiverRecord{}
+			}
+			if err := writeJSON(ws); err != nil {
+				fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+				return 2
+			}
+			return 0
+		}
+		for _, w := range ws {
+			reason := w.Reason
+			if reason == "" {
+				reason = "(missing reason)"
+			}
+			fmt.Printf("%s:%d: //lint:%s %s\n", w.File, w.Line, w.Analyzer, reason)
+		}
+		return 0
+	}
+
 	diags, err := analysis.Run(ld, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vidi-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", ld.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			pos := ld.Fset.Position(d.Pos)
+			out = append(out, jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := writeJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vidi-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", ld.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeJSON emits v indented on stdout, with empty slices rendered as []
+// rather than null.
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {

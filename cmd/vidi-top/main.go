@@ -450,6 +450,7 @@ func watchURL(w io.Writer, url string, interval time.Duration, topN int) error {
 			return err
 		}
 		if interval > 0 {
+			//lint:detaudit header timestamp on a live watch-mode banner; the rendered metrics come from the scraped snapshot, not the clock
 			fmt.Fprintf(w, "-- %s @ %s --\n", url, time.Now().Format(time.TimeOnly))
 		}
 		render(w, snap, topN)

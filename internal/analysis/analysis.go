@@ -59,11 +59,16 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 }
 
 // All returns the analyzers of the suite, in reporting order.
-func All() []*Analyzer { return []*Analyzer{SensAudit, Handshake} }
+func All() []*Analyzer {
+	return []*Analyzer{SensAudit, Handshake, DetAudit, PartWrite}
+}
 
 // Run executes the analyzers over every target package of the loader and
-// returns the surviving diagnostics (waivers applied) sorted by position.
-// Waiver diagnostics for unused or reason-less waivers are included.
+// returns the surviving diagnostics (waivers applied) stably sorted by
+// (file, line, analyzer, message) and deduplicated: a multi-package load
+// (e.g. a package and its _test.go variant, which recompiles the same
+// non-test files) reports each finding once. Waiver diagnostics for
+// reason-less waivers are included.
 func Run(ld *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range ld.Targets() {
@@ -75,7 +80,7 @@ func Run(ld *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
 			out = append(out, applyWaivers(pkg, a.Name, pass.diags)...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		pi, pj := ld.Fset.Position(out[i].Pos), ld.Fset.Position(out[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
@@ -83,9 +88,76 @@ func Run(ld *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
 		return out[i].Message < out[j].Message
 	})
-	return out, nil
+	// Identical findings from distinct package variants differ only in
+	// token.Pos (each parse gets fresh positions), so compare rendered
+	// positions.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 {
+			prev := out[i-1]
+			if d.Analyzer == prev.Analyzer && d.Message == prev.Message &&
+				samePosition(ld.Fset.Position(d.Pos), ld.Fset.Position(prev.Pos)) {
+				continue
+			}
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
+}
+
+func samePosition(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}
+
+// WaiverRecord is one `//lint:<analyzer> <reason>` directive, for the
+// waiver inventory (vidi-lint -waivers).
+type WaiverRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// Waivers inventories every waiver directive for the given analyzers across
+// the loader's target packages, sorted by (file, line, analyzer) and
+// deduplicated across package variants. Reason-less waivers are included
+// (with an empty Reason) so the inventory surfaces them too.
+func Waivers(ld *Loader, analyzers []*Analyzer) []WaiverRecord {
+	var out []WaiverRecord
+	for _, pkg := range ld.Targets() {
+		for _, a := range analyzers {
+			for _, w := range collectWaivers(pkg, a.Name) {
+				out = append(out, WaiverRecord{
+					File:     w.file,
+					Line:     w.line,
+					Analyzer: a.Name,
+					Reason:   w.reason,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	dedup := out[:0]
+	for i, w := range out {
+		if i > 0 && w == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, w)
+	}
+	return dedup
 }
 
 // waiver is one parsed `//lint:<analyzer> <reason>` directive.

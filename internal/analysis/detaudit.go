@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetAudit flags sources of uncontrolled nondeterminism in code that feeds
+// Vidi's byte-identical record→replay contract:
+//
+//   - `range` over a map whose iteration order reaches ordered output — a
+//     direct write/print/encode/channel-send in the loop body, a string
+//     accumulation, or an append into an outer slice that is never sorted
+//     afterwards. The sanctioned collect-then-sort idiom (append keys, then
+//     pass the slice to sort.*/slices.* later in the same function) is
+//     recognised and stays clean.
+//   - time.Now / time.Since / time.Until: wall-clock reads. Simulation,
+//     trace, and replay state must derive timing from cycle counts; genuine
+//     wall-clock uses (service deadlines, benchmark timing) carry a
+//     reasoned waiver documenting why the value never reaches recorded
+//     state. Skipped in _test.go files, where timeouts are legitimate.
+//   - package-level math/rand calls: the global source is shared and
+//     unseedable per consumer, breaking reproducibility. The sanctioned
+//     pattern is a per-consumer stream from sim.NewRand(seed).
+//   - `select` with two or more communication cases: the runtime chooses
+//     pseudo-randomly among ready cases. Skipped in _test.go files.
+//   - goroutine fan-in without a deterministic merge: results sent from
+//     loop-spawned goroutines and received in completion order (ranged
+//     over, appended, or otherwise consumed unindexed). Receives into an
+//     indexed slot (`out[i] = <-ch`) and pure synchronisation barriers
+//     (`<-ch` as a statement) are deterministic and stay clean.
+//
+// The checks are intraprocedural: a map range that hands its elements to a
+// printing helper is the dynamic tripwire's job (see internal/eval's
+// dual-run determinism test), not this analyzer's.
+var DetAudit = &Analyzer{
+	Name: "detaudit",
+	Doc:  "flag determinism hazards: map-order output, wall-clock reads, global rand, multi-ready select, unordered goroutine fan-in",
+	Run:  runDetAudit,
+}
+
+func runDetAudit(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(file.Pos()).Filename
+		testFile := strings.HasSuffix(name, "_test.go")
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			da := &detScan{pass: pass, testFile: testFile, fn: fd}
+			da.run()
+		}
+	}
+	return nil
+}
+
+// detScan audits one function body.
+type detScan struct {
+	pass     *Pass
+	testFile bool
+	fn       *ast.FuncDecl
+}
+
+func (da *detScan) run() {
+	ast.Inspect(da.fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			da.checkCall(x)
+		case *ast.SelectStmt:
+			da.checkSelect(x)
+		case *ast.RangeStmt:
+			da.checkMapRange(x)
+		}
+		return true
+	})
+	da.checkFanIn()
+}
+
+// calleeFunc resolves a call to its *types.Func target, if static.
+func (da *detScan) calleeFunc(c *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := da.pass.Pkg.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := da.pass.Pkg.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// randConstructors are the package-level math/rand functions that build a
+// private stream rather than draw from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkCall flags wall-clock reads and global-source math/rand draws.
+func (da *detScan) checkCall(c *ast.CallExpr) {
+	fn := da.calleeFunc(c)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (rand.Rand streams, time.Time arithmetic) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if da.testFile {
+			return // tests legitimately measure host time and set timeouts
+		}
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			da.pass.Report(c.Pos(),
+				"time.%s reads the wall clock: simulation, trace, and replay state must derive timing from cycle counts; waive with //lint:detaudit <reason> if the value can never reach recorded state", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if randConstructors[fn.Name()] {
+			return
+		}
+		da.pass.Report(c.Pos(),
+			"rand.%s draws from the global math/rand source: a shared stream is not reproducible per consumer; derive a seeded stream with sim.NewRand(seed)", fn.Name())
+	}
+}
+
+// checkSelect flags selects that can have several ready communication cases.
+func (da *detScan) checkSelect(s *ast.SelectStmt) {
+	if da.testFile {
+		return
+	}
+	comms := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		da.pass.Report(s.Pos(),
+			"select with %d communication cases: the runtime chooses pseudo-randomly when several are ready; replay-affecting paths need an explicit priority order (waive with //lint:detaudit <reason> if this never influences recorded state)", comms)
+	}
+}
+
+// orderedWriters are method names that emit into an order-sensitive sink.
+var orderedWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Encode": true,
+}
+
+// checkMapRange flags map iterations whose order escapes into ordered
+// output, with the collect-then-sort idiom sanctioned.
+func (da *detScan) checkMapRange(rs *ast.RangeStmt) {
+	tv, ok := da.pass.Pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	mapName := types.ExprString(rs.X)
+	// appendTargets maps each outer slice the body appends to onto the
+	// position of the first such append, pending the sort-sanction check.
+	appendTargets := map[types.Object]token.Pos{}
+	var appendOrder []types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := da.calleeFunc(x)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				da.pass.Report(x.Pos(),
+					"iteration order of map %s reaches ordered output via fmt.%s: collect the keys, sort them, then emit", mapName, fn.Name())
+				return true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && fn != nil && fn.Type().(*types.Signature).Recv() != nil && orderedWriters[sel.Sel.Name] {
+				da.pass.Report(x.Pos(),
+					"iteration order of map %s reaches ordered output via %s.%s: collect the keys, sort them, then emit", mapName, types.ExprString(sel.X), sel.Sel.Name)
+			}
+		case *ast.SendStmt:
+			da.pass.Report(x.Pos(),
+				"iteration order of map %s escapes through a channel send: the receiver observes a nondeterministic order", mapName)
+		case *ast.AssignStmt:
+			da.checkMapRangeAssign(rs, x, mapName, appendTargets, &appendOrder)
+		}
+		return true
+	})
+	for _, obj := range appendOrder {
+		if !da.sortedAfter(obj, rs.Pos()) {
+			da.pass.Report(appendTargets[obj],
+				"map %s is collected into %s in iteration order but %s is never sorted afterwards: sort it before it feeds ordered output", mapName, obj.Name(), obj.Name())
+		}
+	}
+}
+
+// checkMapRangeAssign handles appends and string accumulation inside a map
+// range body.
+func (da *detScan) checkMapRangeAssign(rs *ast.RangeStmt, as *ast.AssignStmt, mapName string, appendTargets map[types.Object]token.Pos, appendOrder *[]types.Object) {
+	// s += k inside a map range concatenates in iteration order.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if tv, ok := da.pass.Pkg.Info.Types[as.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				da.pass.Report(as.Pos(),
+					"string built up across an iteration of map %s: the concatenation order is nondeterministic", mapName)
+				return
+			}
+		}
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := da.pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		tgt, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := da.pass.Pkg.Info.Uses[tgt]
+		if obj == nil {
+			obj = da.pass.Pkg.Info.Defs[tgt]
+		}
+		// Only appends into a slice that outlives the loop iteration carry
+		// the order out of the range.
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+			continue
+		}
+		if _, seen := appendTargets[obj]; !seen {
+			appendTargets[obj] = as.Pos()
+			*appendOrder = append(*appendOrder, obj)
+		}
+	}
+}
+
+// sortedAfter reports whether obj is handed to a sorting call later in the
+// enclosing function — the collect-then-sort idiom. A sorting call is
+// anything in the sort or slices packages, or any function whose name
+// contains "sort" (covering local helpers like sortRows).
+func (da *detScan) sortedAfter(obj types.Object, after token.Pos) bool {
+	sorted := false
+	ast.Inspect(da.fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < after || !da.isSortCall(c) {
+			return true
+		}
+		for _, a := range c.Args {
+			ast.Inspect(a, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && da.pass.Pkg.Info.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortCall reports whether c looks like a sorting call: sort.* /
+// slices.*, or any callee whose name contains "sort".
+func (da *detScan) isSortCall(c *ast.CallExpr) bool {
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		if strings.Contains(strings.ToLower(fun.Sel.Name), "sort") {
+			return true
+		}
+		pkgID, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := da.pass.Pkg.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		p := pn.Imported().Path()
+		return p == "sort" || p == "slices"
+	}
+	return false
+}
+
+// checkFanIn flags results of loop-spawned goroutines merged in completion
+// order.
+func (da *detScan) checkFanIn() {
+	// Pass 1: channels sent to from a goroutine spawned inside a loop,
+	// where the channel is declared in this function.
+	candidates := map[types.Object]bool{}
+	ast.Inspect(da.fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			body = x.Body
+		case *ast.RangeStmt:
+			body = x.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if g, ok := m.(*ast.GoStmt); ok {
+				da.fanInSends(g, candidates)
+			}
+			return true
+		})
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+	// Pass 2: completion-order consumption of those channels.
+	var stack []ast.Node
+	ast.Inspect(da.fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && candidates[da.pass.Pkg.Info.Uses[id]] {
+				da.pass.Report(x.Pos(),
+					"ranging over fan-in channel %s consumes goroutine results in completion order: index results by slot or sort before use", id.Name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW {
+				return true
+			}
+			id, ok := ast.Unparen(x.X).(*ast.Ident)
+			if !ok || !candidates[da.pass.Pkg.Info.Uses[id]] {
+				return true
+			}
+			if !benignRecv(stack, x) {
+				da.pass.Report(x.Pos(),
+					"receive from fan-in channel %s merges goroutine results in completion order: assign into an indexed slot (out[i] = <-%s) or sort before use", id.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// fanInSends records the function-local channels a spawned goroutine sends
+// to: sends inside the go'd function literal, plus channels passed as
+// arguments to a go'd named function.
+func (da *detScan) fanInSends(g *ast.GoStmt, candidates map[types.Object]bool) {
+	record := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := da.pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return
+		}
+		// Only channels local to the audited function: fan-in through a
+		// struct field or parameter is out of intraprocedural scope.
+		if obj.Pos() >= da.fn.Pos() && obj.Pos() <= da.fn.End() {
+			candidates[obj] = true
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SendStmt); ok {
+				record(s.Chan)
+			}
+			return true
+		})
+	}
+	for _, a := range g.Call.Args {
+		record(a)
+	}
+}
+
+// benignRecv reports whether a fan-in receive is deterministic by shape: a
+// bare `<-ch` statement (synchronisation barrier) or a receive assigned
+// into an indexed slot.
+func benignRecv(stack []ast.Node, recv *ast.UnaryExpr) bool {
+	// stack[len-1] == recv; walk outward past parens.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch p := stack[i].(type) {
+	case *ast.ExprStmt:
+		return true // value discarded: pure barrier
+	case *ast.AssignStmt:
+		for j, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != recv {
+				continue
+			}
+			if j >= len(p.Lhs) {
+				return false
+			}
+			switch lhs := ast.Unparen(p.Lhs[j]).(type) {
+			case *ast.IndexExpr:
+				return true // out[i] = <-ch: slot-addressed, deterministic
+			case *ast.Ident:
+				return lhs.Name == "_"
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}

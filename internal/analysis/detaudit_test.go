@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// TestDetAuditFixture pins every detaudit diagnostic class — map order
+// reaching prints, channels, string accumulation, and unsorted collections;
+// wall-clock reads; global math/rand draws; multi-ready selects; and
+// completion-order goroutine fan-in — alongside the sanctioned clean shapes
+// (collect-then-sort, map-to-map, seeded streams, default-armed select,
+// indexed gathers and pure barriers).
+func TestDetAuditFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetAudit}, "testdata/src/detfix")
+}

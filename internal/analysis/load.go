@@ -60,13 +60,19 @@ type Loader struct {
 }
 
 // goList runs `go list -export -deps` in dir and returns the decoded
-// package entries.
-func goList(dir string, patterns ...string) ([]listedPkg, error) {
-	args := append([]string{
+// package entries. With tests set, `-test` is added so each matched package
+// also yields its in-package test variant (`pkg [pkg.test]`, whose GoFiles
+// include the _test.go files) and external test package.
+func goList(dir string, tests bool, patterns ...string) ([]listedPkg, error) {
+	args := []string{
 		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Export,Dir,GoFiles,ImportMap,Standard,DepOnly,Error",
-		"--",
-	}, patterns...)
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -92,7 +98,15 @@ func goList(dir string, patterns ...string) ([]listedPkg, error) {
 // NewLoader runs `go list` in dir over the patterns and typechecks every
 // matched (non-dependency) package from source.
 func NewLoader(dir string, patterns ...string) (*Loader, error) {
-	pkgs, err := goList(dir, patterns...)
+	return NewLoaderWithTests(dir, false, patterns...)
+}
+
+// NewLoaderWithTests is NewLoader with optional test-variant loading: each
+// matched package is additionally analyzed as its `pkg [pkg.test]` variant,
+// so _test.go files are covered. The synthesized `pkg.test` main packages
+// are skipped (their sources live in the build cache).
+func NewLoaderWithTests(dir string, tests bool, patterns ...string) (*Loader, error) {
+	pkgs, err := goList(dir, tests, patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +120,7 @@ func NewLoader(dir string, patterns ...string) (*Loader, error) {
 	for i := range pkgs {
 		p := &pkgs[i]
 		ld.listed[p.ImportPath] = p
-		if !p.DepOnly {
+		if !p.DepOnly && !strings.HasSuffix(p.ImportPath, ".test") {
 			if p.Error != nil {
 				return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
 			}
@@ -182,7 +196,7 @@ func (ld *Loader) ensureSource(path string) *listedPkg {
 	if lp != nil && (lp.Standard || len(lp.GoFiles) > 0 || ld.dir == "") {
 		return lp
 	}
-	pkgs, err := goList(ld.dir, path)
+	pkgs, err := goList(ld.dir, false, path)
 	if err != nil {
 		return lp
 	}

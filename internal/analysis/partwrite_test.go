@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestPartWriteFixture pins every partwrite diagnostic class: an undeclared
+// direct Tick drive, a cross-module write through a peer pointer, a drive
+// hidden behind a helper, and an unresolvable call signals flow into —
+// plus the clean shapes (declared clock-edge drive, ReadsAll, state-only
+// Tick, reasoned waiver) that must not fire.
+func TestPartWriteFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{PartWrite}, "testdata/src/partfix")
+}

@@ -103,7 +103,18 @@ func namedType(t types.Type) (pkgPath, name string, ok bool) {
 	if n.Obj().Pkg() == nil {
 		return "", n.Obj().Name(), true
 	}
-	return n.Obj().Pkg().Path(), n.Obj().Name(), true
+	return normalizePkgPath(n.Obj().Pkg().Path()), n.Obj().Name(), true
+}
+
+// normalizePkgPath strips the in-package test-variant suffix: when the sim
+// package's own test variant is analyzed (`vidi/internal/sim
+// [vidi/internal/sim.test]`), its types must still compare equal to
+// simPkgPath or every analyzer would silently skip the kernel's own tests.
+func normalizePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
 }
 
 // isSimType reports whether t (possibly behind a pointer) is the named sim

@@ -9,11 +9,28 @@ func TestSensAuditFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{SensAudit}, "testdata/src/sensfix")
 }
 
-// TestBareWaiverReported checks that a //lint:sensaudit directive with no
-// reason suppresses nothing and is itself diagnosed. This lives outside the
-// want-comment fixture because the waiver diagnostic lands on the comment's
-// own line, where no want comment can sit.
-func TestBareWaiverReported(t *testing.T) {
+// TestClosureAtCreation checks the closure fixture: function literals are
+// scanned where they are created (the kernel may run a stored callback on
+// any later cycle), immediately-invoked literals flow through like inline
+// code, and fully-declared closures audit clean.
+func TestClosureAtCreation(t *testing.T) {
+	runFixture(t, []*Analyzer{SensAudit}, "testdata/src/closurefix")
+}
+
+// TestExpandDepthBound checks the depth fixture: a helper chain deeper
+// than maxExpandDepth is reported as unresolvable at the first refused
+// call instead of being silently truncated, and a chain inside the bound
+// resolves clean.
+func TestExpandDepthBound(t *testing.T) {
+	runFixture(t, []*Analyzer{SensAudit}, "testdata/src/depthfix")
+}
+
+// TestWaiverMatrix checks the waiver edge cases that cannot be expressed
+// as want comments (the bare-waiver diagnostics land on the directive's
+// own line): a reason-less function-level waiver and a reason-less
+// line-level waiver each suppress nothing and are themselves diagnosed,
+// and a waiver naming a different analyzer does not silence sensaudit.
+func TestWaiverMatrix(t *testing.T) {
 	ld, err := NewLoader("testdata/src/waivefix", ".")
 	if err != nil {
 		t.Fatalf("load: %v", err)
@@ -22,21 +39,24 @@ func TestBareWaiverReported(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	var sawMissingReason, sawUndeclaredRead bool
+	var missingReason int
+	var undeclared []string
 	for _, d := range diags {
 		switch {
 		case strings.Contains(d.Message, "missing a reason"):
-			sawMissingReason = true
-		case strings.Contains(d.Message, "reads m.in"):
-			sawUndeclaredRead = true
+			missingReason++
+		case strings.Contains(d.Message, "reads m.in"),
+			strings.Contains(d.Message, "reads w.in"),
+			strings.Contains(d.Message, "reads l.in"):
+			undeclared = append(undeclared, d.Message)
 		default:
 			t.Errorf("unexpected diagnostic: %s", d.Message)
 		}
 	}
-	if !sawMissingReason {
-		t.Errorf("bare waiver was not reported; diagnostics: %v", diags)
+	if missingReason != 2 {
+		t.Errorf("got %d missing-reason diagnostics, want 2 (bare func waiver + bare line waiver); diagnostics: %v", missingReason, diags)
 	}
-	if !sawUndeclaredRead {
-		t.Errorf("bare waiver suppressed the undeclared-read diagnostic; diagnostics: %v", diags)
+	if len(undeclared) != 3 {
+		t.Errorf("got %d undeclared-read diagnostics, want 3 (bare, wrong-analyzer and line waivers must all suppress nothing): %v", len(undeclared), undeclared)
 	}
 }

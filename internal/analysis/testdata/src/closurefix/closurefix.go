@@ -1,0 +1,70 @@
+// Package closurefix is a want-comment fixture for sensaudit's
+// closure-at-creation rule: a function literal created inside Eval is
+// scanned where it is built, because the kernel may run it on any later
+// cycle — its accesses belong to the module's sensitivity whether or not
+// Eval calls it on this path.
+package closurefix
+
+import "vidi/internal/sim"
+
+// StoredClosure builds a callback that touches signals and stashes it; the
+// undeclared read inside the literal must be attributed to Eval even though
+// Eval never invokes it.
+type StoredClosure struct {
+	in, out *sim.Wire
+	hook    func()
+}
+
+func (s *StoredClosure) Name() string { return "stored-closure" }
+func (s *StoredClosure) Tick()        {}
+
+// Sensitivity declares only the drive.
+func (s *StoredClosure) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{s.out}}
+}
+
+func (s *StoredClosure) Eval() {
+	s.hook = func() {
+		s.out.Set(s.in.Get()) // want `Eval of StoredClosure reads s\.in`
+	}
+}
+
+// DeclaredClosure does the same but declares everything the literal
+// touches: clean.
+type DeclaredClosure struct {
+	in, out *sim.Wire
+	hook    func()
+}
+
+func (d *DeclaredClosure) Name() string { return "declared-closure" }
+func (d *DeclaredClosure) Tick()        {}
+
+// Sensitivity covers the closure's accesses.
+func (d *DeclaredClosure) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{d.in}, Drives: []sim.Signal{d.out}}
+}
+
+func (d *DeclaredClosure) Eval() {
+	d.hook = func() { d.out.Set(d.in.Get()) }
+}
+
+// ImmediateClosure invokes the literal in place — the common
+// guard-and-apply idiom; accesses must flow through exactly like inline
+// code, with no double counting.
+type ImmediateClosure struct {
+	in, out *sim.Wire
+}
+
+func (i *ImmediateClosure) Name() string { return "immediate-closure" }
+func (i *ImmediateClosure) Tick()        {}
+
+// Sensitivity omits the drive inside the literal.
+func (i *ImmediateClosure) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{i.in}}
+}
+
+func (i *ImmediateClosure) Eval() {
+	func() {
+		i.out.Set(i.in.Get()) // want `Eval of ImmediateClosure drives i\.out`
+	}()
+}

@@ -1,0 +1,9 @@
+// Package dedupfix exercises multi-package-load deduplication: loading
+// with test variants recompiles this file into both `dedupfix` and
+// `dedupfix [dedupfix.test]`, and the finding below must be reported once.
+package dedupfix
+
+import "time"
+
+// Stamp reads the wall clock (one detaudit finding).
+func Stamp() int64 { return time.Now().UnixNano() }

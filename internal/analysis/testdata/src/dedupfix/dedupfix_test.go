@@ -1,0 +1,15 @@
+package dedupfix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJitter draws from the global rand source (one detaudit finding that
+// exists only when the test variant is analyzed; wall-clock checks are
+// relaxed in _test.go files, global-rand checks are not).
+func TestJitter(t *testing.T) {
+	if rand.Intn(2) > 2 {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,57 @@
+// Package depthfix is a want-comment fixture for the interprocedural
+// expansion bound (maxExpandDepth = 6): a helper chain deeper than the
+// bound is not silently truncated — the first refused call is reported as
+// unresolvable, so a drive hiding below the bound can never pass the audit
+// unseen.
+package depthfix
+
+import "vidi/internal/sim"
+
+// Deep reads a declared wire through a seven-deep helper chain. The
+// expansion runs out of budget inside d6, where the call to d7 must be
+// reported; the read in d7 itself is never reached.
+type Deep struct {
+	in, out *sim.Wire
+}
+
+func (d *Deep) Name() string { return "deep" }
+func (d *Deep) Tick()        {}
+
+// Sensitivity declares both ends of the chain.
+func (d *Deep) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{d.in}, Drives: []sim.Signal{d.out}}
+}
+
+func (d *Deep) Eval() { d.d1() }
+
+func (d *Deep) d1() { d.d2() }
+func (d *Deep) d2() { d.d3() }
+func (d *Deep) d3() { d.d4() }
+func (d *Deep) d4() { d.d5() }
+func (d *Deep) d5() { d.d6() }
+func (d *Deep) d6() {
+	d.d7() // want `cannot statically resolve call to d\.d7`
+}
+func (d *Deep) d7() { d.out.Set(d.in.Get()) }
+
+// Shallow reaches its signals through a five-deep chain, inside the
+// bound: fully resolved, audits clean.
+type Shallow struct {
+	in, out *sim.Wire
+}
+
+func (s *Shallow) Name() string { return "shallow" }
+func (s *Shallow) Tick()        {}
+
+// Sensitivity declares the chain's endpoints.
+func (s *Shallow) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{s.in}, Drives: []sim.Signal{s.out}}
+}
+
+func (s *Shallow) Eval() { s.s1() }
+
+func (s *Shallow) s1() { s.s2() }
+func (s *Shallow) s2() { s.s3() }
+func (s *Shallow) s3() { s.s4() }
+func (s *Shallow) s4() { s.s5() }
+func (s *Shallow) s5() { s.out.Set(s.in.Get()) }

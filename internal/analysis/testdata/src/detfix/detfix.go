@@ -1,0 +1,179 @@
+// Package detfix is a want-comment fixture for the detaudit analyzer. Each
+// `// want` comment asserts a diagnostic on its line; functions without
+// wants must audit clean.
+package detfix
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"vidi/internal/sim"
+)
+
+// EmitFrames prints trace frames straight out of a map range: the frame
+// order changes run to run.
+func EmitFrames(w io.Writer, frames map[uint64]string) {
+	for id, payload := range frames {
+		fmt.Fprintf(w, "%d %s\n", id, payload) // want `iteration order of map frames reaches ordered output via fmt\.Fprintf`
+	}
+}
+
+// EmitSorted is the sanctioned collect-then-sort idiom: keys are gathered,
+// sorted, and only then emitted. Clean.
+func EmitSorted(w io.Writer, frames map[uint64]string) {
+	keys := make([]uint64, 0, len(frames))
+	for id := range frames {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, id := range keys {
+		fmt.Fprintf(w, "%d %s\n", id, frames[id])
+	}
+}
+
+// CollectUnsorted gathers map values into an outer slice and never sorts
+// it: callers observe a nondeterministic order.
+func CollectUnsorted(frames map[uint64]string) []string {
+	var out []string
+	for _, payload := range frames {
+		out = append(out, payload) // want `map frames is collected into out in iteration order but out is never sorted`
+	}
+	return out
+}
+
+// Invert builds a map from a map: the target is order-insensitive. Clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Describe concatenates map keys into a string in iteration order.
+func Describe(tags map[string]bool) string {
+	s := ""
+	for tag := range tags {
+		s += tag // want `string built up across an iteration of map tags`
+	}
+	return s
+}
+
+// Forward pushes map entries into a channel: the receiver sees them in
+// iteration order.
+func Forward(ch chan<- string, m map[string]string) {
+	for _, v := range m {
+		ch <- v // want `iteration order of map m escapes through a channel send`
+	}
+}
+
+// Stamp samples the wall clock into a trace header.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed measures host time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// GlobalJitter draws from the shared math/rand source.
+func GlobalJitter() int {
+	return rand.Intn(100) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// SeededJitter derives a per-consumer stream the sanctioned way. Clean.
+func SeededJitter(seed int64) int {
+	rng := sim.NewRand(seed)
+	return rng.Intn(100)
+}
+
+// Race selects across two ready sources: the runtime picks pseudo-randomly.
+func Race(a, b <-chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll is a single communication case with a default arm: no choice among
+// ready cases exists. Clean.
+func Poll(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// GatherAppend merges loop-spawned goroutine results in completion order.
+func GatherAppend(jobs []func() int) []int {
+	ch := make(chan int, len(jobs))
+	for _, job := range jobs {
+		job := job
+		go func() { ch <- job() }()
+	}
+	var out []int
+	for range jobs {
+		out = append(out, <-ch) // want `receive from fan-in channel ch merges goroutine results in completion order`
+	}
+	return out
+}
+
+// GatherIndexed assigns each goroutine's result into its own slot: the
+// merge is deterministic regardless of completion order. Clean.
+func GatherIndexed(jobs []func() int) []int {
+	out := make([]int, len(jobs))
+	done := make(chan struct{}, len(jobs))
+	for i, job := range jobs {
+		i, job := i, job
+		go func() {
+			out[i] = job()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		<-done // pure barrier: no value consumed
+	}
+	return out
+}
+
+// GatherRange drains the fan-in channel with a range loop.
+func GatherRange(jobs []func() int) int {
+	ch := make(chan int)
+	for _, job := range jobs {
+		job := job
+		go func() { ch <- job() }()
+	}
+	sum := 0
+	count := 0
+	for v := range ch { // want `ranging over fan-in channel ch consumes goroutine results in completion order`
+		sum += v
+		count++
+		if count == len(jobs) {
+			break
+		}
+	}
+	return sum
+}
+
+// sortRows is a local sorting helper — sortedAfter must recognise it by
+// name even though it lives outside the sort/slices packages.
+func sortRows(rows []string) { sort.Strings(rows) }
+
+// CollectHelperSorted collects in map order but hands the slice to a local
+// sorting helper before emission: clean.
+func CollectHelperSorted(frames map[string][]byte) []string {
+	rows := make([]string, 0, len(frames))
+	for id := range frames {
+		rows = append(rows, id)
+	}
+	sortRows(rows)
+	return rows
+}

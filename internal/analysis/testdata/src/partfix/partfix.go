@@ -1,0 +1,152 @@
+// Package partfix is a want-comment fixture for the partwrite analyzer.
+// Each `// want` comment asserts a diagnostic on its line; modules without
+// wants must audit clean.
+package partfix
+
+import "vidi/internal/sim"
+
+// RogueTick drives a wire from Tick that its declaration does not own: the
+// wire may be owned by another sub-partition, and tick phases run unordered
+// in parallel.
+type RogueTick struct {
+	in, out, rogue *sim.Wire
+}
+
+func (r *RogueTick) Name() string { return "rogue-tick" }
+
+func (r *RogueTick) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{r.in}, Drives: []sim.Signal{r.out}}
+}
+
+func (r *RogueTick) Eval() { r.out.Set(r.in.Get()) }
+
+func (r *RogueTick) Tick() {
+	r.rogue.Set(true) // want `Tick of RogueTick drives r\.rogue, which is not in its declared Drives`
+}
+
+// CrossTick holds a pointer to a peer module and writes the peer's output
+// wire at the clock edge — a cross-partition write with no Tie.
+type CrossTick struct {
+	peer *RogueTick
+	in   *sim.Wire
+}
+
+func (c *CrossTick) Name() string { return "cross-tick" }
+
+func (c *CrossTick) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{c.in}}
+}
+
+func (c *CrossTick) Eval() {}
+
+func (c *CrossTick) Tick() {
+	c.peer.out.Set(c.in.Get()) // want `Tick of CrossTick drives c\.peer\.out`
+}
+
+// HelperTick drives an undeclared wire through a helper method; the
+// interprocedural expansion must still see the write.
+type HelperTick struct {
+	out *sim.Wire
+}
+
+func (h *HelperTick) Name() string { return "helper-tick" }
+
+func (h *HelperTick) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+func (h *HelperTick) Eval() {}
+
+func (h *HelperTick) flush() {
+	h.out.Set(false) // want `Tick of HelperTick drives h\.out`
+}
+
+func (h *HelperTick) Tick() { h.flush() }
+
+// OpaqueTick calls through an interface that a signal flows into, so the
+// single-writer proof cannot be completed.
+type OpaqueTick struct {
+	sig sim.Signal
+}
+
+func (o *OpaqueTick) Name() string { return "opaque-tick" }
+
+func (o *OpaqueTick) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+func (o *OpaqueTick) Eval() {}
+
+func (o *OpaqueTick) Tick() {
+	_ = o.sig.Name() // want `cannot statically resolve call to o\.sig\.Name reached from Tick of OpaqueTick`
+}
+
+// DeclaredTick latches its declared drive at the clock edge: the write is
+// inside the declared Drives, so the partitioner has already merged the
+// module with the signal. Clean.
+type DeclaredTick struct {
+	in, out *sim.Wire
+	state   bool
+}
+
+func (d *DeclaredTick) Name() string { return "declared-tick" }
+
+func (d *DeclaredTick) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{d.in}, Drives: []sim.Signal{d.out}}
+}
+
+func (d *DeclaredTick) Eval() { d.out.Set(d.state) }
+
+func (d *DeclaredTick) Tick() {
+	d.state = d.in.Get()
+	d.out.Set(d.state)
+}
+
+// ReadsAllTick is conservatively declared: the fine partitioner merges a
+// ReadsAll module with everything it could touch, so its Tick writes are
+// sequentialised by construction. Clean.
+type ReadsAllTick struct {
+	out *sim.Wire
+}
+
+func (r *ReadsAllTick) Name() string { return "readsall-tick" }
+
+func (r *ReadsAllTick) Sensitivity() sim.Sensitivity { return sim.ReadsEverything() }
+
+func (r *ReadsAllTick) Eval() {}
+
+func (r *ReadsAllTick) Tick() { r.out.Set(true) }
+
+// WaivedTick is a violation suppressed by a reasoned function-level waiver.
+type WaivedTick struct {
+	rogue *sim.Wire
+}
+
+func (w *WaivedTick) Name() string { return "waived-tick" }
+
+func (w *WaivedTick) Sensitivity() sim.Sensitivity { return sim.Sensitivity{} }
+
+func (w *WaivedTick) Eval() {}
+
+// Tick is exempt for this fixture.
+//
+//lint:partwrite fixture exercises the function-level waiver path
+func (w *WaivedTick) Tick() { w.rogue.Set(true) }
+
+// StateOnlyTick mutates registered state only — the conforming Moore-machine
+// shape. Clean.
+type StateOnlyTick struct {
+	in    *sim.Wire
+	out   *sim.Wire
+	count int
+}
+
+func (s *StateOnlyTick) Name() string { return "state-only-tick" }
+
+func (s *StateOnlyTick) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Reads: []sim.Signal{s.in}, Drives: []sim.Signal{s.out}}
+}
+
+func (s *StateOnlyTick) Eval() { s.out.Set(s.count > 0) }
+
+func (s *StateOnlyTick) Tick() {
+	if s.in.Get() {
+		s.count++
+	}
+}

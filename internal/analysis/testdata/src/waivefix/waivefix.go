@@ -22,3 +22,38 @@ func (m *M) Sensitivity() sim.Sensitivity {
 //
 //lint:sensaudit
 func (m *M) Eval() { m.out.Set(m.in.Get()) }
+
+// W reads a wire it does not declare, under a waiver naming a different
+// analyzer: the directive must not suppress sensaudit's diagnostic.
+type W struct {
+	in, out *sim.Wire
+}
+
+func (w *W) Name() string { return "w" }
+func (w *W) Tick()        {}
+
+// Sensitivity omits the in wire.
+func (w *W) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{w.out}}
+}
+
+// Eval is waived for another analyzer only.
+//
+//lint:detaudit this reason belongs to a different analyzer and must not silence sensaudit
+func (w *W) Eval() { w.out.Set(w.in.Get()) }
+
+// L reads an undeclared wire under a reason-less waiver on the diagnosed
+// line itself (the line-level variant of M's bare function waiver).
+type L struct {
+	in, out *sim.Wire
+}
+
+func (l *L) Name() string { return "l" }
+func (l *L) Tick()        {}
+
+// Sensitivity omits the in wire.
+func (l *L) Sensitivity() sim.Sensitivity {
+	return sim.Sensitivity{Drives: []sim.Signal{l.out}}
+}
+
+func (l *L) Eval() { l.out.Set(l.in.Get()) } //lint:sensaudit

@@ -331,6 +331,8 @@ func (m *ReadManager) EvalStable() bool {
 func (m *ReadManager) NeedsStablePoll() bool { return m.Link != nil }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite the burst-completion callback commits registered state in the issuing environment-side model; shell assemblies tie each engine with its issuer, so the callback never crosses a partition
 func (m *ReadManager) Tick() {
 	if m.arActive && m.iface.AR.Fired() {
 		m.arActive = false
@@ -551,6 +553,8 @@ func (s *MemSubordinate) TickWatch() []*sim.Channel {
 func (s *MemSubordinate) TickStable() bool { return !s.busy() }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite mem is a byte-addressed backing store interface (plain memory, no wires or buses); its ReadAt/WriteAt cannot drive another partition's signals
 func (s *MemSubordinate) Tick() {
 	// Conservative stability: re-evaluate whenever work was or remains in
 	// flight (covers both activations and the final active→idle edge).
@@ -717,6 +721,8 @@ func (s *RegSubordinate) TickWatch() []*sim.Channel {
 func (s *RegSubordinate) TickStable() bool { return !s.busy() }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite OnWrite/OnRead register callbacks land in the shell control plane, which every assembly ties into the subordinate's partition
 func (s *RegSubordinate) Tick() {
 	if s.busy() {
 		s.Touch()

@@ -79,6 +79,8 @@ func (f *forkMod) TickWatch() []*sim.Channel {
 func (f *forkMod) TickStable() bool { return true }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite Drives ranges over the dynamic fan-out width, beyond the symbolic evaluator; the dynamic checker audits it in every scheduler-side golden/fuzz run
 func (f *forkMod) Tick() {
 	done := f.have
 	for i, out := range f.outs {
@@ -184,6 +186,8 @@ func (j *joinMod) TickWatch() []*sim.Channel {
 func (j *joinMod) TickStable() bool { return true }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite Drives ranges over the dynamic fan-in width, beyond the symbolic evaluator; the dynamic checker audits it in every scheduler-side golden/fuzz run
 func (j *joinMod) Tick() {
 	if j.out.Fired() {
 		for i := range j.got {
@@ -251,6 +255,8 @@ func (d *dealMod) TickWatch() []*sim.Channel {
 func (d *dealMod) TickStable() bool { return true }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite Drives ranges over the dynamic fan-out width, beyond the symbolic evaluator; the dynamic checker audits it in every scheduler-side golden/fuzz run
 func (d *dealMod) Tick() {
 	if d.outs[d.idx].Fired() {
 		d.have = false
@@ -316,6 +322,8 @@ func (m *mergeMod) TickWatch() []*sim.Channel {
 func (m *mergeMod) TickStable() bool { return true }
 
 // Tick implements sim.Module.
+//
+//lint:partwrite Drives ranges over the dynamic fan-in width, beyond the symbolic evaluator; the dynamic checker audits it in every scheduler-side golden/fuzz run
 func (m *mergeMod) Tick() {
 	if m.out.Fired() {
 		m.have = false

@@ -94,6 +94,12 @@ type RunConfig struct {
 	// byte-identical with or without a sink (enforced by the telemetry
 	// golden tests).
 	Telemetry *telemetry.Sink
+	// PerturbSeed, when non-zero, arms seeded schedule perturbation in the
+	// kernel's parallel worker loop (sim.Simulator.SetSchedulePerturb):
+	// deliberate goroutine yields that reshuffle partition→worker timing
+	// without being allowed to change any simulation output. Used by the
+	// dual-run determinism tripwire.
+	PerturbSeed uint64
 }
 
 // RunResult is the outcome of one experiment run.
@@ -160,6 +166,7 @@ func Build(rc RunConfig) (*Built, error) {
 	if rc.Workers > 0 {
 		sys.Sim.SetWorkers(rc.Workers)
 	}
+	sys.Sim.SetSchedulePerturb(rc.PerturbSeed)
 	app, err := apps.New(rc.App, rc.Scale)
 	if err != nil {
 		return nil, err

@@ -98,6 +98,9 @@ func (b *Breaker) cooldown() time.Duration {
 	return time.Second
 }
 
+// clock is the breaker's time source (overridable in tests).
+//
+//lint:detaudit breaker cooldowns are HTTP-service control flow on the host side; recorded traces and replay state never observe them
 func (b *Breaker) clock() time.Time {
 	if b.now != nil {
 		return b.now()
@@ -191,6 +194,8 @@ func newRetrier(seed int64, maxRetries int, base time.Duration, breaker *Breaker
 }
 
 // ctxSleep sleeps d or returns early with the context's error.
+//
+//lint:detaudit timer-vs-cancellation race only decides how fast a backoff aborts; no recorded state depends on which case wins
 func ctxSleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()

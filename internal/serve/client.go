@@ -140,6 +140,7 @@ func (c *Client) PutSegment(ctx context.Context, sessionID string, firstSeq uint
 		if attempt > 0 {
 			d := c.retryBase() << uint(attempt-1)
 			t := time.NewTimer(d)
+			//lint:detaudit retry-backoff-vs-cancellation race: either outcome re-issues or abandons an idempotent request; recorded state is unaffected
 			select {
 			case <-ctx.Done():
 				t.Stop()

@@ -187,6 +187,7 @@ func (p *jobPool) wait(ctx context.Context, id string) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown job %s", id)
 	}
+	//lint:detaudit completion-vs-deadline race only chooses between returning the finished job and a timeout error; the job's stored result is committed either way
 	select {
 	case <-j.done:
 		return p.mustGet(id), nil
@@ -203,6 +204,7 @@ func (p *jobPool) mustGet(id string) *Job {
 func (p *jobPool) worker() {
 	defer p.wg.Done()
 	for {
+		//lint:detaudit shutdown-vs-dispatch race: a worker draining one more job versus exiting does not change any job's replay verdict, only when the pool quiesces
 		select {
 		case <-p.ctx.Done():
 			return

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -71,12 +72,13 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	}
 	met := newMetrics(sink)
 	s := &Server{
-		store:    store,
-		limits:   opts.Limits,
-		adm:      newAdmission(opts.Limits),
-		sink:     sink,
-		met:      met,
-		recInfo:  opts.Recovery,
+		store:   store,
+		limits:  opts.Limits,
+		adm:     newAdmission(opts.Limits),
+		sink:    sink,
+		met:     met,
+		recInfo: opts.Recovery,
+		//lint:detaudit server start timestamp feeds only the /metrics uptime gauge; simulation runs inside jobs never see it
 		start:    time.Now(),
 		sessions: map[string]*session{},
 	}
@@ -133,6 +135,10 @@ func (s *Server) Close() {
 	}
 	s.sessions = map[string]*session{}
 	s.mu.Unlock()
+	// Abort in session-id order, not map order: shutdown side effects
+	// (abort spans, admission releases, partial-upload tombstones) land in a
+	// reproducible sequence for the chaos harness to compare across runs.
+	sort.Slice(open, func(i, j int) bool { return open[i].id < open[j].id })
 	for _, se := range open {
 		se.w.Abort()
 		s.adm.releaseSession(se.meta.Tenant)
@@ -155,6 +161,8 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // usec is the span timestamp clock: microseconds since server start.
+//
+//lint:detaudit uptime stamps service-side telemetry spans only; trace and replay state are cycle-derived
 func (s *Server) usec() uint64 { return uint64(time.Since(s.start) / time.Microsecond) }
 
 // ---- error and JSON plumbing ----

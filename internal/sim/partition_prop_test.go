@@ -20,6 +20,9 @@ func (m *propMod) Name() string { return m.name }
 //lint:sensaudit property test scripts Sensitivity from a randomized field
 func (m *propMod) Eval() {}
 
+// Tick is a no-op; Sensitivity comes from the randomized field above.
+//
+//lint:partwrite property test scripts Sensitivity from a randomized field
 func (m *propMod) Tick()                    {}
 func (m *propMod) Sensitivity() Sensitivity { return m.sens }
 

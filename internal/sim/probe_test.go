@@ -16,7 +16,9 @@ type probeMod struct {
 func (m *probeMod) Name() string { return m.name }
 
 //lint:sensaudit deliberately misdeclared test module; the dynamic checker is the subject under test
-func (m *probeMod) Eval()                    { m.eval() }
+func (m *probeMod) Eval() { m.eval() }
+
+//lint:partwrite deliberately misdeclared test module; the dynamic checker is the subject under test
 func (m *probeMod) Tick()                    {}
 func (m *probeMod) Sensitivity() Sensitivity { return m.sens }
 

@@ -472,6 +472,8 @@ const (
 
 // settlePart runs one cycle's combinational settle for one partition,
 // measuring the sampled settle time when a telemetry sink is attached.
+//
+//lint:detaudit sampled wall-clock settle timing feeds only the vidi_sched_eval_ns_total telemetry counter, which the determinism tripwire excludes from comparison; no simulation or trace state derives from it
 func (sc *scheduler) settlePart(p *partition, cycle uint64, maxIters int) error {
 	if !sc.timed || cycle&timingSampleMask != 0 {
 		return sc.settlePartRun(p, cycle, maxIters)
@@ -633,13 +635,27 @@ func (sc *scheduler) runParts(idxs []int32, fn func(p *partition)) {
 	if w > n {
 		w = n
 	}
+	perturb := sc.sim.perturbSeed
 	var next atomic.Int64
 	worker := func(slot int) {
+		// Seeded yield injection (SetSchedulePerturb): a cheap splitmix-style
+		// hash of (seed, slot, job) decides where this worker yields,
+		// deliberately perturbing the goroutine schedule without touching
+		// simulation state.
+		h := perturb ^ (uint64(slot)+1)*0x9e3779b97f4a7c15
 		ran := uint64(0)
 		for {
 			j := int(next.Add(1)) - 1
 			if j >= n {
 				break
+			}
+			if perturb != 0 {
+				h ^= uint64(j) + 0xbf58476d1ce4e5b9
+				h *= 0x94d049bb133111eb
+				h ^= h >> 31
+				if h&3 == 0 {
+					runtime.Gosched()
+				}
 			}
 			fn(&sc.parts[idxs[j]])
 			ran++
@@ -810,6 +826,19 @@ func (s *Simulator) Tie(ms ...Module) {
 func (s *Simulator) SetWorkers(n int) {
 	s.workers = n
 	s.invalidate()
+}
+
+// SetSchedulePerturb arms deterministic schedule perturbation: with a
+// non-zero seed, the parallel worker loop injects runtime.Gosched calls at
+// points derived from (seed, worker slot, job index), deliberately
+// reshuffling which goroutine picks up which partition and when it yields.
+// Partitions within a batch are independent by construction, so simulation
+// results MUST NOT change — that is exactly what the dual-run determinism
+// tripwire (internal/eval) asserts by byte-comparing traces across
+// perturbed runs. Zero (the default) disables injection and adds no work
+// to the hot loop beyond one predictable branch.
+func (s *Simulator) SetSchedulePerturb(seed uint64) {
+	s.perturbSeed = seed
 }
 
 // SetCoarsePartitions selects the coarse partitioning strategy: union-find

@@ -122,7 +122,10 @@ type Simulator struct {
 	// coarse selects read-edge unioning (the pre-sub-partitioning strategy);
 	// see SetCoarsePartitions.
 	coarse bool
-	stats  Stats
+	// perturbSeed, when non-zero, arms seeded yield injection in the
+	// parallel worker loop; see SetSchedulePerturb.
+	perturbSeed uint64
+	stats       Stats
 
 	// Struct-of-arrays signal state, rebuilt by Build: per-partition regions
 	// of wire values, generation counters, and data-bus bytes, padded so
