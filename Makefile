@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint waivers vuln staticcheck fmt-check test test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke ci bench tables examples fuzz clean
+.PHONY: all build vet lint waivers vuln staticcheck fmt-check test test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke serve-load-smoke ci bench tables examples fuzz clean
 
 all: build vet lint test
 
@@ -97,8 +97,18 @@ telemetry-smoke:
 serve-chaos-smoke:
 	$(GO) test -race -count=1 -run TestChaosMatrix ./internal/serve
 
+# Open-loop load harness under the race detector: 1100 seeded sessions
+# (record/replay/compare/degraded mix) against a self-hosted vidi-serve,
+# rendezvous-held until at least 1000 run concurrently. Fails on any
+# session failure, silent divergence, spent error budget, or a peak below
+# the floor; the per-endpoint latency report lands in BENCH_serve.json
+# (render it with `vidi-top -load BENCH_serve.json`).
+serve-load-smoke:
+	$(GO) run -race ./cmd/vidi-load -sessions 1100 -min-concurrent 1000 -min-peak 1000 \
+	    -rate 4000 -seed 42 -segment-frames 32 -out BENCH_serve.json
+
 # The exact sequence CI runs (.github/workflows/ci.yml).
-ci: build vet lint staticcheck vuln fmt-check test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke
+ci: build vet lint staticcheck vuln fmt-check test-short test-race race-golden fuzz-smoke fuzz-guided-smoke telemetry-smoke serve-chaos-smoke serve-load-smoke
 
 # One benchmark run per table/figure; results also land in bench_output.txt.
 # Also regenerates BENCH_kernel.json (cycles/sec per app, legacy vs

@@ -11,12 +11,16 @@
 //
 // Observability: GET /metrics serves Prometheus text (vidi-top -url
 // renders it), GET /healthz the breaker and session state, GET
-// /v1/recovery the startup recovery report.
+// /v1/recovery the startup recovery report, GET /v1/slow the
+// slowest-request exemplars with per-stage timings. -log text|json emits
+// one structured line per completed request and job, each carrying the
+// X-Vidi-Request-Id that ties client and server records together.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -35,11 +39,24 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max open sessions server-wide (0 = default)")
 	workers := flag.Int("workers", 0, "replay job workers (0 = default)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0 = default)")
+	logMode := flag.String("log", "off", "structured request logging: off|text|json")
+	slowRequests := flag.Int("slow-requests", 0, "slow-request exemplar ring size for /v1/slow (0 = default)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vidi-serve:", err)
 		os.Exit(1)
+	}
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "off":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fail(fmt.Errorf("-log %q: want off, text, or json", *logMode))
 	}
 
 	if *chaos {
@@ -84,8 +101,10 @@ func main() {
 			Workers:              *workers,
 			RequestTimeout:       *reqTimeout,
 		},
-		Sink:     sink,
-		Recovery: rec,
+		Sink:         sink,
+		Recovery:     rec,
+		Logger:       logger,
+		SlowRequests: *slowRequests,
 	})
 	defer srv.Close()
 

@@ -11,9 +11,13 @@
 //	vidi-top -trace timeline.json     # validate + summarise a trace_event timeline
 //	vidi-top -url http://host:9412    # scrape a live vidi-serve /metrics and inspect it
 //	vidi-top -url ... -watch 2s       # re-scrape and re-render on an interval
+//	vidi-top -load BENCH_serve.json   # render a vidi-load report (add -url for live quantiles)
 //
 // File snapshots must be the JSON encoding (-metrics with a .json path);
 // -url reads the Prometheus text form a live /metrics endpoint serves.
+// Ranked tables order by value (descending) by default; -sort name orders
+// them by row name instead, and equal-valued rows always keep a stable
+// name order either way.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 
 	"vidi/internal/apps"
 	"vidi/internal/eval"
+	"vidi/internal/serve"
 	"vidi/internal/telemetry"
 )
 
@@ -38,16 +43,34 @@ func main() {
 	app := flag.String("app", "", "run one instrumented R2 recording of this app and inspect it: "+strings.Join(apps.Names(), ", "))
 	url := flag.String("url", "", "scrape a live /metrics endpoint (Prometheus text) and inspect it")
 	watch := flag.Duration("watch", 0, "with -url: re-scrape and re-render on this interval (0 = once)")
+	loadPath := flag.String("load", "", "render a vidi-load report (BENCH_serve.json)")
 	seed := flag.Int64("seed", 1, "environment timing seed (with -app)")
 	scale := flag.Int("scale", 1, "workload scale factor (with -app)")
 	topN := flag.Int("top", 8, "rows shown per table")
+	sortFlag := flag.String("sort", "value", "ranked-table row order: value|name")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vidi-top:", err)
 		os.Exit(1)
 	}
+	switch *sortFlag {
+	case sortByValue, sortByName:
+	default:
+		fail(fmt.Errorf("unknown -sort %q (want value or name)", *sortFlag))
+	}
+	sortMode = *sortFlag
 	switch {
+	case *loadPath != "":
+		if err := renderLoad(os.Stdout, *loadPath, *topN); err != nil {
+			fail(err)
+		}
+		if *url != "" {
+			fmt.Println()
+			if err := watchURL(os.Stdout, *url, *watch, *topN); err != nil {
+				fail(err)
+			}
+		}
 	case *url != "":
 		if err := watchURL(os.Stdout, *url, *watch, *topN); err != nil {
 			fail(err)
@@ -83,6 +106,15 @@ func main() {
 		os.Exit(2)
 	}
 }
+
+// Ranked-table sort modes (-sort flag).
+const (
+	sortByValue = "value"
+	sortByName  = "name"
+)
+
+// sortMode is the process-wide -sort selection (value by default).
+var sortMode = sortByValue
 
 // row is one line of a sorted table: a display key plus named columns.
 type row struct {
@@ -171,7 +203,101 @@ func renderService(w io.Writer, snap *telemetry.Snapshot) bool {
 		kv(strings.ReplaceAll(label, "_", " "), snap.Total(f.Name))
 	}
 	fmt.Fprintln(w)
+	renderLatency(w, snap)
 	return true
+}
+
+// renderLatency shows the live per-endpoint request-latency quantiles a
+// vidi-serve scrape carries (the summary family vidi-load also reports
+// from the client side).
+func renderLatency(w io.Writer, snap *telemetry.Snapshot) {
+	f := snap.Family("vidi_serve_request_duration_seconds")
+	if f == nil {
+		return
+	}
+	fmt.Fprintf(w, "== request latency by endpoint ==\n")
+	fmt.Fprintf(w, "%-14s %9s %9s %9s %9s %9s %9s\n",
+		"endpoint", "count", "mean ms", "p50 ms", "p90 ms", "p95 ms", "p99 ms")
+	type lrow struct {
+		name                     string
+		count                    uint64
+		mean, p50, p90, p95, p99 float64
+	}
+	rows := make([]lrow, 0, len(f.Series))
+	for _, se := range f.Series {
+		if se.Count == 0 {
+			continue
+		}
+		toMS := func(p float64) float64 { return se.QuantileValue(p) * 1000 }
+		rows = append(rows, lrow{
+			name:  se.Labels["endpoint"],
+			count: se.Count,
+			mean:  se.Sum / float64(se.Count) * 1000,
+			p50:   toMS(0.5), p90: toMS(0.9), p95: toMS(0.95), p99: toMS(0.99),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if sortMode == sortByValue && rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %9d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			r.name, r.count, r.mean, r.p50, r.p90, r.p95, r.p99)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderLoad renders a vidi-load report (BENCH_serve.json): the run
+// digest, the per-endpoint latency table, and the client's slowest
+// requests with their ids for cross-referencing against /v1/slow.
+func renderLoad(w io.Writer, path string, topN int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: not a vidi-load report: %w", path, err)
+	}
+	fmt.Fprintf(w, "== vidi-load report: %s ==\n", path)
+	fmt.Fprintf(w, "seed %d  url %s  sessions %d  peak concurrent %d  duration %.0fms\n",
+		rep.Seed, rep.URL, rep.Sessions, rep.PeakConcurrent, rep.DurationMS)
+	fmt.Fprintf(w, "requests %d (%.0f/s)  errors %d (ratio %.4f)  failed sessions %d\n",
+		rep.Requests, rep.RequestsPerSec, rep.ErrorCount, rep.ErrorRatio, rep.FailedSessions)
+	fmt.Fprintf(w, "recorded %d  replayed %d  compared %d  degraded %d  divergences %d  gap frames %d\n",
+		rep.Recorded, rep.Replayed, rep.Compared, rep.Degraded, rep.Divergences, rep.GapFrames)
+	fmt.Fprintf(w, "slow exemplars correlated %d/%d  compression ratio %.2f\n\n",
+		rep.SlowCorrelated, rep.SlowChecked, rep.CompressionRatio)
+
+	fmt.Fprintf(w, "%-14s %9s %7s %9s %9s %9s %9s %9s\n",
+		"endpoint", "count", "errors", "p50 ms", "p90 ms", "p95 ms", "p99 ms", "p99.9 ms")
+	eps := append([]serve.EndpointStats(nil), rep.Endpoints...)
+	sort.SliceStable(eps, func(i, j int) bool {
+		if sortMode == sortByValue && eps[i].Count != eps[j].Count {
+			return eps[i].Count > eps[j].Count
+		}
+		return eps[i].Endpoint < eps[j].Endpoint
+	})
+	for _, e := range eps {
+		fmt.Fprintf(w, "%-14s %9d %7d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			e.Endpoint, e.Count, e.Errors, e.P50MS, e.P90MS, e.P95MS, e.P99MS, e.P999MS)
+	}
+	if len(rep.SlowestRequests) > 0 {
+		fmt.Fprintf(w, "\n%-20s %-14s %7s %10s\n", "slowest request id", "endpoint", "status", "ms")
+		for i, s := range rep.SlowestRequests {
+			if i >= topN {
+				fmt.Fprintf(w, "(%d more)\n", len(rep.SlowestRequests)-topN)
+				break
+			}
+			fmt.Fprintf(w, "%-20s %-14s %7d %10.2f\n", s.RequestID, s.Endpoint, s.Status, s.DurationMS)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(w, "error: %s\n", e)
+	}
+	return nil
 }
 
 func renderOverview(w io.Writer, snap *telemetry.Snapshot) {
@@ -317,10 +443,13 @@ func sortedKVList(m map[string]float64) []kvEntry {
 	return out
 }
 
-// sortRows orders by the first column descending, key ascending on ties.
+// sortRows orders rows per the -sort flag: by the first column descending
+// with a key-ascending tiebreak (value, the default), or by key ascending
+// (name). Equal-valued rows therefore always render in a deterministic
+// name order.
 func sortRows(rows []row) {
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].cols[0] != rows[j].cols[0] {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if sortMode == sortByValue && rows[i].cols[0] != rows[j].cols[0] {
 			return rows[i].cols[0] > rows[j].cols[0]
 		}
 		return rows[i].key < rows[j].key

@@ -227,6 +227,7 @@ func (r *retrier) do(ctx context.Context, op string, fn func() error) error {
 			return err
 		}
 		if attempt > 0 {
+			noteRetry(ctx)
 			delay := r.base<<uint(attempt-1) + r.jitter()
 			if err := r.sleep(ctx, delay); err != nil {
 				return err

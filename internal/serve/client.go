@@ -292,9 +292,20 @@ func (c *Client) SubmitJob(ctx context.Context, kind, runID, refRunID string) (*
 }
 
 // WaitJob blocks server-side until the job finishes (or ctx expires).
+// The long poll is bounded by the server's per-request deadline; callers
+// that may queue behind it longer than that should poll GetJob instead.
 func (c *Client) WaitJob(ctx context.Context, id string) (*Job, error) {
 	var j Job
 	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=1", nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// GetJob fetches a job's current status without waiting.
+func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -27,6 +28,10 @@ type Job struct {
 	RunID string `json:"run_id"`
 	// RefRunID is the reference run for compare jobs.
 	RefRunID string `json:"ref_run_id,omitempty"`
+	// RequestID is the id of the HTTP request that submitted the job —
+	// the correlation key between a client's request log and the job's
+	// server-side outcome.
+	RequestID string `json:"request_id,omitempty"`
 	// Status is queued → running → done | failed.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
@@ -47,6 +52,7 @@ type jobPool struct {
 	store  *Store
 	limits Limits
 	met    *metrics
+	log    *slog.Logger
 
 	queue  chan *Job
 	ctx    context.Context
@@ -94,8 +100,9 @@ func (p *jobPool) close() {
 func (p *jobPool) queued() int { return len(p.queue) }
 
 // submit validates and enqueues a job; a full queue is an admission
-// rejection (503: the server's backlog, not the caller's quota).
-func (p *jobPool) submit(kind, runID, refRunID string) (*Job, error) {
+// rejection (503: the server's backlog, not the caller's quota). reqID is
+// the submitting request's id, kept on the job for correlation.
+func (p *jobPool) submit(kind, runID, refRunID, reqID string) (*Job, error) {
 	switch kind {
 	case JobReplay, JobDiagnose:
 	case JobCompare:
@@ -126,12 +133,13 @@ func (p *jobPool) submit(kind, runID, refRunID string) (*Job, error) {
 	p.mu.Lock()
 	p.seq++
 	j := &Job{
-		ID:       fmt.Sprintf("job-%d", p.seq),
-		Kind:     kind,
-		RunID:    runID,
-		RefRunID: refRunID,
-		Status:   "queued",
-		done:     make(chan struct{}),
+		ID:        fmt.Sprintf("job-%d", p.seq),
+		Kind:      kind,
+		RunID:     runID,
+		RefRunID:  refRunID,
+		RequestID: reqID,
+		Status:    "queued",
+		done:      make(chan struct{}),
 	}
 	p.jobs[j.ID] = j
 	p.mu.Unlock()
@@ -232,12 +240,28 @@ func (p *jobPool) finish(j *Job, err error) {
 	} else {
 		j.Status = "done"
 	}
+	cp := *j
 	p.mu.Unlock()
 	close(j.done)
 	if err != nil {
 		p.met.jobsFailed.v.Add(1)
 	} else {
 		p.met.jobsDone.v.Add(1)
+	}
+	if p.log != nil {
+		level := slog.LevelInfo
+		if err != nil {
+			level = slog.LevelError
+		}
+		p.log.LogAttrs(context.Background(), level, "job",
+			slog.String("job_id", cp.ID),
+			slog.String("kind", cp.Kind),
+			slog.String("run_id", cp.RunID),
+			slog.String("request_id", cp.RequestID),
+			slog.String("status", cp.Status),
+			slog.String("error", cp.Error),
+			slog.Int("divergences", cp.Divergences),
+		)
 	}
 }
 

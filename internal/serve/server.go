@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vidi/internal/telemetry"
@@ -27,6 +29,13 @@ type ServerOptions struct {
 	// Recovery, when set, is the store-open recovery report, served on
 	// /v1/recovery for operators (and the chaos harness) to audit.
 	Recovery *Recovery
+	// Logger, when set, receives one structured line per completed request
+	// (endpoint, tenant, status, bytes, duration, request id, breaker
+	// state) and per finished job. Nil disables request logging.
+	Logger *slog.Logger
+	// SlowRequests sizes the slow-request exemplar ring served at /v1/slow
+	// (default 32).
+	SlowRequests int
 }
 
 // Server is the vidi-serve HTTP service: sessions stream storage frames
@@ -40,6 +49,9 @@ type Server struct {
 	met     *metrics
 	mux     *http.ServeMux
 	recInfo *Recovery
+	log     *slog.Logger
+	slow    *slowRing
+	reqSeq  atomic.Uint64
 	start   time.Time
 
 	mu       sync.Mutex
@@ -78,11 +90,14 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 		sink:    sink,
 		met:     met,
 		recInfo: opts.Recovery,
+		log:     opts.Logger,
+		slow:    newSlowRing(opts.SlowRequests),
 		//lint:detaudit server start timestamp feeds only the /metrics uptime gauge; simulation runs inside jobs never see it
 		start:    time.Now(),
 		sessions: map[string]*session{},
 	}
 	s.jobs = newJobPool(store, opts.Limits, met)
+	s.jobs.log = opts.Logger
 	met.openSessions = func() float64 { return float64(s.adm.openSessions()) }
 	met.breakerState = store.Breaker().State
 	met.queuedJobs = func() float64 { return float64(s.jobs.queued()) }
@@ -91,32 +106,89 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/segments", s.handlePutSegment)
-	mux.HandleFunc("POST /v1/sessions/{id}/gap", s.handleGap)
-	mux.HandleFunc("POST /v1/sessions/{id}/commit", s.handleCommit)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleAbort)
-	mux.HandleFunc("GET /v1/runs", s.handleRuns)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// route stamps the endpoint's metric/log name into the request trace
+	// before dispatching, so RED metrics and exemplars label by route, not
+	// raw path.
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			reqTraceFrom(r.Context()).setEndpoint(name)
+			h(w, r)
+		})
+	}
+	route("POST /v1/sessions", "open_session", s.handleOpenSession)
+	route("POST /v1/sessions/{id}/segments", "put_segment", s.handlePutSegment)
+	route("POST /v1/sessions/{id}/gap", "mark_gap", s.handleGap)
+	route("POST /v1/sessions/{id}/commit", "commit", s.handleCommit)
+	route("DELETE /v1/sessions/{id}", "abort", s.handleAbort)
+	route("GET /v1/runs", "list_runs", s.handleRuns)
+	route("GET /v1/runs/{id}", "get_run", s.handleRun)
+	route("POST /v1/jobs", "submit_job", s.handleSubmitJob)
+	route("GET /v1/jobs", "list_jobs", s.handleJobs)
+	route("GET /v1/jobs/{id}", "get_job", s.handleJob)
+	route("GET /v1/recovery", "recovery", s.handleRecovery)
+	route("GET /v1/slow", "slow", s.handleSlow)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	route("GET /healthz", "healthz", s.handleHealth)
 	s.mux = mux
 	return s
 }
 
 // Handler returns the service's HTTP handler: every request carries the
-// configured deadline and lands in the response-class metrics.
+// configured deadline and a request trace (id accepted from
+// X-Vidi-Request-Id or generated, echoed back in the response), and lands
+// in the response-class and per-endpoint RED metrics, the structured
+// request log, and — if slow enough — the /v1/slow exemplar ring.
+//
+//lint:detaudit wall-clock here times HTTP requests for latency metrics and logs only; replay and trace state inside jobs are cycle-derived
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.limits.requestTimeout())
+		rt := &reqTrace{id: requestID(r), start: time.Now()}
+		if rt.id == "" {
+			rt.id = fmt.Sprintf("r-%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Vidi-Request-Id", rt.id)
+		ctx, cancel := context.WithTimeout(withReqTrace(r.Context(), rt), s.limits.requestTimeout())
 		defer cancel()
+		s.met.inFlight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+		s.met.inFlight.Add(-1)
+
+		dur := time.Since(rt.start)
+		endpoint, tenant, stages, retries := rt.snapshot()
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		breaker := s.store.Breaker().State()
 		s.met.httpCode(rec.status)
+		s.met.request(endpoint, rec.status, dur)
+		s.slow.note(SlowRequest{
+			RequestID:  rt.id,
+			Endpoint:   endpoint,
+			Tenant:     tenant,
+			Status:     rec.status,
+			Bytes:      rec.bytes,
+			DurationMS: float64(dur) / float64(time.Millisecond),
+			Retries:    retries,
+			Breaker:    breaker,
+			Stages:     stages,
+		})
+		if s.log != nil {
+			level := slog.LevelInfo
+			if rec.status >= 500 {
+				level = slog.LevelError
+			}
+			s.log.LogAttrs(ctx, level, "request",
+				slog.String("request_id", rt.id),
+				slog.String("endpoint", endpoint),
+				slog.String("tenant", tenant),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", dur),
+				slog.Int("retries", retries),
+				slog.Float64("breaker", breaker),
+			)
+		}
 	})
 }
 
@@ -153,11 +225,18 @@ func (s *Server) Sink() *telemetry.Sink { return s.sink }
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // usec is the span timestamp clock: microseconds since server start.
@@ -250,6 +329,7 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 			"run_id, tenant and app are required (path-safe, printable, no whitespace)")
 		return
 	}
+	reqTraceFrom(r.Context()).setTenant(req.Tenant)
 	if err := s.adm.acquireSession(req.Tenant); err != nil {
 		s.fail(w, err)
 		return
@@ -330,6 +410,7 @@ func (s *Server) handlePutSegment(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no_session", "unknown session")
 		return
 	}
+	reqTraceFrom(r.Context()).setTenant(se.meta.Tenant)
 	firstSeq64, err := strconv.ParseUint(r.Header.Get("X-Vidi-First-Seq"), 10, 32)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", "X-Vidi-First-Seq header is required (decimal frame sequence)")
@@ -428,6 +509,7 @@ func (s *Server) handleGap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no_session", "unknown session")
 		return
 	}
+	reqTraceFrom(r.Context()).setTenant(se.meta.Tenant)
 	var req gapRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil || req.Frames == 0 {
 		writeErr(w, http.StatusBadRequest, "bad_request", "body must carry a non-zero frame count")
@@ -460,6 +542,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no_session", "unknown session")
 		return
 	}
+	reqTraceFrom(r.Context()).setTenant(se.meta.Tenant)
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	if se.gone {
@@ -476,6 +559,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	stats := TraceStats{UploadGaps: se.w.GapFrames()}
 	if stats.UploadGaps == 0 {
+		endDecode := stageTimer(r.Context(), "decode")
 		frames, err := framesFromBytes(body)
 		if err == nil {
 			var tr *trace.Trace
@@ -487,6 +571,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 				stats.Replayable = true
 			}
 		}
+		endDecode()
 		if err != nil {
 			// Every frame passed ingest verification, so an undecodable
 			// stream means the trace itself is malformed — reject the
@@ -505,6 +590,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	s.dropSession(se)
 	se.track.Span("commit", t0, s.usec())
 	s.met.sessionsCommitted.v.Add(1)
+	s.met.noteStored(m.Bytes, m.StoredBytes)
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -563,7 +649,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_request", "body does not parse: "+err.Error())
 		return
 	}
-	j, err := s.jobs.submit(req.Kind, req.RunID, req.RefRunID)
+	reqID := ""
+	if rt := reqTraceFrom(r.Context()); rt != nil {
+		reqID = rt.id
+	}
+	j, err := s.jobs.submit(req.Kind, req.RunID, req.RefRunID, reqID)
 	if err != nil {
 		var ae *AdmissionError
 		if errors.As(err, &ae) {
@@ -622,6 +712,11 @@ func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
 		"resumable":   rec.Resumable,
 		"quarantined": qs,
 	})
+}
+
+// handleSlow serves the slow-request exemplar ring, slowest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"slow": s.slow.list()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

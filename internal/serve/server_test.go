@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"strings"
 	"sync"
@@ -385,7 +386,7 @@ func TestJobPoolCloseDrainsQueuedJobs(t *testing.T) {
 	// Stop the workers first so submissions stay in the queue.
 	p.cancel()
 	p.wg.Wait()
-	j, err := p.submit(JobReplay, "rq", "")
+	j, err := p.submit(JobReplay, "rq", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,14 +424,206 @@ func TestCompareRejectsUnreplayableRun(t *testing.T) {
 
 	p := newJobPool(st, Limits{}, newMetrics(telemetry.New()))
 	defer p.close()
-	if _, err := p.submit(JobCompare, "gapped", "good"); err == nil {
+	if _, err := p.submit(JobCompare, "gapped", "good", ""); err == nil {
 		t.Fatal("compare accepted an unreplayable target run")
 	}
-	if _, err := p.submit(JobCompare, "good", "gapped"); err == nil {
+	if _, err := p.submit(JobCompare, "good", "gapped", ""); err == nil {
 		t.Fatal("compare accepted an unreplayable reference run")
 	}
 	quarantinedBefore := p.met.quarantined.v.Load()
 	if quarantinedBefore != 0 {
 		t.Fatalf("rejections counted as quarantines: %d", quarantinedBefore)
+	}
+}
+
+// ---- request tracing ----
+
+func TestServerRequestTracing(t *testing.T) {
+	ls, cl := newTestServer(t, Limits{})
+	tr := recordedTrace(t)
+	ctx := context.Background()
+
+	// A client-supplied id is echoed back in the response header.
+	req, err := http.NewRequest(http.MethodGet, ls.url+"/v1/runs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Vidi-Request-Id", "trace-me-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("list runs: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Vidi-Request-Id"); got != "trace-me-1" {
+		t.Fatalf("request id echo = %q, want trace-me-1", got)
+	}
+
+	// A request without an id gets a server-generated one.
+	resp, err = http.Get(ls.url + "/v1/runs")
+	if err != nil {
+		t.Fatalf("list runs: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Vidi-Request-Id"); got == "" || got == "trace-me-1" {
+		t.Fatalf("generated request id = %q", got)
+	}
+
+	// The traced request is an exemplar while the ring is still roomy
+	// (later upload traffic is slower and will evict it).
+	resp, err = http.Get(ls.url + "/v1/slow")
+	if err != nil {
+		t.Fatalf("slow: %v", err)
+	}
+	var early struct {
+		Slow []SlowRequest `json:"slow"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&early)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("slow decode: %v", err)
+	}
+	var sawTraced bool
+	for _, e := range early.Slow {
+		if e.RequestID == "trace-me-1" && e.Endpoint == "list_runs" {
+			sawTraced = true
+		}
+	}
+	if !sawTraced {
+		t.Fatalf("traced request missing from exemplars: %+v", early.Slow)
+	}
+
+	// Drive real store work so stage timings and a 4xx exist.
+	sess, err := cl.OpenSession(ctx, "run-t", RunMeta{Tenant: "acme", App: "dma-irq", Scale: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := cl.UploadTrace(ctx, sess.SessionID, tr); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if _, err := cl.Commit(ctx, sess.SessionID); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if resp, err = http.Get(ls.url + "/v1/runs/nope"); err != nil {
+		t.Fatalf("404 probe: %v", err)
+	}
+	resp.Body.Close()
+
+	// The store-heavy requests dominate the ring: the commit's
+	// store-stage timeline and a put_segment exemplar must be there.
+	resp, err = http.Get(ls.url + "/v1/slow")
+	if err != nil {
+		t.Fatalf("slow: %v", err)
+	}
+	var out struct {
+		Slow []SlowRequest `json:"slow"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("slow decode: %v", err)
+	}
+	var sawCommit, sawPut bool
+	stagesOf := func(e SlowRequest) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range e.Stages {
+			m[s.Stage] = true
+		}
+		return m
+	}
+	for _, e := range out.Slow {
+		if e.Endpoint == "commit" && e.Tenant == "acme" {
+			sawCommit = true
+			st := stagesOf(e)
+			for _, want := range []string{"readback", "decode", "manifest"} {
+				if !st[want] {
+					t.Fatalf("commit exemplar missing %q stage: %+v", want, e.Stages)
+				}
+			}
+		}
+		if e.Endpoint == "put_segment" && !sawPut {
+			st := stagesOf(e)
+			if st["journal"] && st["write"] {
+				sawPut = true
+			}
+		}
+	}
+	if !sawCommit || !sawPut {
+		t.Fatalf("exemplars missing commit=%v put=%v: %+v", sawCommit, sawPut, out.Slow)
+	}
+
+	// RED metrics: per-endpoint latency summaries, error counters by
+	// class, and the in-flight gauge family.
+	resp, err = http.Get(ls.url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	snap, err := telemetry.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics parse: %v", err)
+	}
+	fam := snap.Family("vidi_serve_request_duration_seconds")
+	if fam == nil || fam.Kind != "summary" {
+		t.Fatalf("request duration family missing or wrong kind: %+v", fam)
+	}
+	var sawCommitSeries bool
+	for _, se := range fam.Series {
+		if se.Labels["endpoint"] == "commit" && se.Count > 0 {
+			sawCommitSeries = true
+		}
+	}
+	if !sawCommitSeries {
+		t.Fatalf("no commit latency series: %+v", fam.Series)
+	}
+	if v := snap.Total("vidi_serve_request_errors_total"); v < 1 {
+		t.Fatalf("request errors total = %v, want >= 1 (the 404 probe)", v)
+	}
+	if snap.Family("vidi_serve_requests_in_flight") == nil {
+		t.Fatal("in-flight gauge family missing")
+	}
+}
+
+// TestJobCarriesRequestID: the job record remembers the submitting
+// request's id — the correlation key a load report uses.
+func TestJobCarriesRequestID(t *testing.T) {
+	ls, cl := newTestServer(t, Limits{})
+	tr := recordedTrace(t)
+	ctx := context.Background()
+	sess, err := cl.OpenSession(ctx, "run-j", RunMeta{Tenant: "acme", App: "dma-irq", Scale: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := cl.UploadTrace(ctx, sess.SessionID, tr); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if _, err := cl.Commit(ctx, sess.SessionID); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	body := strings.NewReader(`{"kind":"replay","run_id":"run-j"}`)
+	req, err := http.NewRequest(http.MethodPost, ls.url+"/v1/jobs", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Vidi-Request-Id", "submit-req-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var j Job
+	err = json.NewDecoder(resp.Body).Decode(&j)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	if j.RequestID != "submit-req-9" {
+		t.Fatalf("job request id = %q, want submit-req-9", j.RequestID)
+	}
+	got, err := cl.WaitJob(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if got.RequestID != "submit-req-9" || got.Status != "done" {
+		t.Fatalf("finished job lost its request id: %+v", got)
 	}
 }

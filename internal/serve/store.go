@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"compress/flate"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -90,6 +92,11 @@ type Manifest struct {
 	// Replayable reports whether the stored stream decodes to a valid
 	// trace (false for upload-gapped runs).
 	Replayable bool `json:"replayable"`
+	// StoredBytes totals the on-disk size of the run's unique segment
+	// files (the flate storage codec usually makes this smaller than
+	// Bytes); CompressionRatio is Bytes/StoredBytes.
+	StoredBytes      uint64  `json:"stored_bytes,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 }
 
 // Degraded reports whether the run carries gap markers of either kind.
@@ -270,6 +277,58 @@ func validLabel(s string) bool {
 func hashBytes(b []byte) string {
 	h := sha256.Sum256(b)
 	return hex.EncodeToString(h[:])
+}
+
+// ---- storage codec ----
+
+// Segment files are stored behind a 4-byte codec header: "VZS1" + flate
+// stream (the normal case) or "VZS0" + raw bytes (incompressible
+// payloads). Content addressing is codec-invisible — SegmentRef.Hash
+// stays the sha256 of the RAW frame bytes, so dedup, journals, manifests
+// and the HTTP API never see compression. A file without a codec magic is
+// read as a legacy raw segment, which also keeps torn partial writes
+// classified by the raw length check instead of a decode error.
+
+var (
+	segMagicFlate = []byte("VZS1")
+	segMagicRaw   = []byte("VZS0")
+)
+
+// encodeSegment compresses raw frame bytes for disk, falling back to the
+// raw container when flate does not help.
+func encodeSegment(raw []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(segMagicFlate)
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err == nil {
+		_, werr := zw.Write(raw)
+		if cerr := zw.Close(); werr == nil && cerr == nil && buf.Len() < len(raw)+len(segMagicRaw) {
+			return buf.Bytes()
+		}
+	}
+	out := make([]byte, 0, len(raw)+len(segMagicRaw))
+	out = append(out, segMagicRaw...)
+	return append(out, raw...)
+}
+
+// decodeSegment recovers the raw frame bytes from a stored segment file.
+func decodeSegment(stored []byte) ([]byte, error) {
+	switch {
+	case bytes.HasPrefix(stored, segMagicFlate):
+		zr := flate.NewReader(bytes.NewReader(stored[len(segMagicFlate):]))
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("segment codec: %w", err)
+		}
+		return raw, nil
+	case bytes.HasPrefix(stored, segMagicRaw):
+		return stored[len(segMagicRaw):], nil
+	default:
+		return stored, nil // legacy uncompressed segment
+	}
 }
 
 // ---- journal ----
@@ -502,23 +561,33 @@ func (w *RunWriter) PutSegment(ctx context.Context, data []byte, firstSeq uint32
 	if w.closed {
 		return SegmentRef{}, false, fmt.Errorf("serve: run %s writer is closed", w.runID)
 	}
-	if err := w.appendJournal(ctx, "put", ref.Hash, strconv.Itoa(ref.Bytes),
-		strconv.Itoa(ref.Frames), strconv.FormatUint(uint64(firstSeq), 10)); err != nil {
+	endJournal := stageTimer(ctx, "journal")
+	err := w.appendJournal(ctx, "put", ref.Hash, strconv.Itoa(ref.Bytes),
+		strconv.Itoa(ref.Frames), strconv.FormatUint(uint64(firstSeq), 10))
+	endJournal()
+	if err != nil {
 		return SegmentRef{}, false, err
 	}
 	_, dedup := w.durable[ref.Hash]
 	if !dedup {
 		path := w.st.segPath(w.runID, ref.Hash)
-		if err := w.st.retr.do(ctx, "segment write", func() error {
+		stored := encodeSegment(data)
+		endWrite := stageTimer(ctx, "write")
+		err := w.st.retr.do(ctx, "segment write", func() error {
 			if err := w.st.fault("segment write"); err != nil {
 				return err
 			}
-			return atomicWrite(path, data)
-		}); err != nil {
+			return atomicWrite(path, stored)
+		})
+		endWrite()
+		if err != nil {
 			return SegmentRef{}, false, err
 		}
 	}
-	if err := w.appendJournal(ctx, "done", ref.Hash); err != nil {
+	endJournal = stageTimer(ctx, "journal")
+	err = w.appendJournal(ctx, "done", ref.Hash)
+	endJournal()
+	if err != nil {
 		return SegmentRef{}, false, err
 	}
 	w.durable[ref.Hash] = ref
@@ -558,6 +627,7 @@ func (w *RunWriter) ReadBack(ctx context.Context) ([]byte, error) {
 	w.mu.Lock()
 	refs := append([]SegmentRef(nil), w.refs...)
 	w.mu.Unlock()
+	defer stageTimer(ctx, "readback")()
 	return w.st.readSegments(ctx, w.runID, refs)
 }
 
@@ -578,15 +648,20 @@ func (st *Store) readSegments(ctx context.Context, runID string, refs []SegmentR
 			// 503, never grounds to quarantine an intact committed run.
 			return nil, &StoreFaultError{Op: "segment read", Err: err}
 		}
-		if len(data) != ref.Bytes {
+		raw, derr := decodeSegment(data)
+		if derr != nil {
 			return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash,
-				Reason: fmt.Sprintf("segment is %d bytes, manifest says %d (torn write)", len(data), ref.Bytes)}
+				Reason: derr.Error()}
 		}
-		if h := hashBytes(data); h != ref.Hash {
+		if len(raw) != ref.Bytes {
+			return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash,
+				Reason: fmt.Sprintf("segment is %d bytes, manifest says %d (torn write)", len(raw), ref.Bytes)}
+		}
+		if h := hashBytes(raw); h != ref.Hash {
 			return nil, &CorruptRunError{RunID: runID, Artifact: ref.Hash,
 				Reason: "segment content hash mismatch"}
 		}
-		out = append(out, data...)
+		out = append(out, raw...)
 	}
 	return out, nil
 }
@@ -613,18 +688,41 @@ func (w *RunWriter) Commit(ctx context.Context, stats TraceStats) (*Manifest, er
 		UploadGapFrames: w.gaps,
 		Replayable:      stats.Replayable && w.gaps == 0,
 	}
+	// Stat (not recompute) the unique segment files for the on-disk total:
+	// a resumed session's deduped segments were encoded by an earlier
+	// writer, and what counts is what is actually on disk.
+	seen := make(map[string]bool, len(w.refs))
+	var storedBytes uint64
+	for _, ref := range w.refs {
+		if seen[ref.Hash] {
+			continue
+		}
+		seen[ref.Hash] = true
+		if fi, err := os.Stat(w.st.segPath(w.runID, ref.Hash)); err == nil {
+			storedBytes += uint64(fi.Size())
+		} else {
+			storedBytes += uint64(ref.Bytes) // assume raw if unstattable
+		}
+	}
+	m.StoredBytes = storedBytes
+	if storedBytes > 0 {
+		m.CompressionRatio = float64(w.bytes) / float64(storedBytes)
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	data = append(data, '\n')
 	path := filepath.Join(w.st.runDir(w.runID), "manifest.json")
-	if err := w.st.retr.do(ctx, "manifest write", func() error {
+	endManifest := stageTimer(ctx, "manifest")
+	err = w.st.retr.do(ctx, "manifest write", func() error {
 		if err := w.st.fault("manifest write"); err != nil {
 			return err
 		}
 		return atomicWrite(path, data)
-	}); err != nil {
+	})
+	endManifest()
+	if err != nil {
 		return nil, err
 	}
 	if err := w.appendJournal(ctx, "commit", hashBytes(data)); err != nil {
@@ -930,19 +1028,25 @@ func (st *Store) recoverCommitted(runID, wantHash string, rec *Recovery, condemn
 	rec.Intact = append(rec.Intact, runID)
 }
 
-// verifySegment re-hashes one segment file; "" means intact.
+// verifySegment re-hashes one segment file; "" means intact. Stored bytes
+// are decoded through the storage codec first, so a truncated flate
+// stream surfaces as damage just like a torn raw write.
 func (st *Store) verifySegment(runID string, ref SegmentRef) string {
 	data, err := os.ReadFile(st.segPath(runID, ref.Hash))
 	if err != nil {
 		return "segment unreadable: " + err.Error()
 	}
-	if len(data) != ref.Bytes {
-		return fmt.Sprintf("segment is %d bytes, journal says %d (torn write)", len(data), ref.Bytes)
+	raw, derr := decodeSegment(data)
+	if derr != nil {
+		return derr.Error()
 	}
-	if len(data)%trace.StoragePacketSize != 0 {
-		return fmt.Sprintf("segment length %d is not a whole number of frames (torn final frame)", len(data))
+	if len(raw) != ref.Bytes {
+		return fmt.Sprintf("segment is %d bytes, journal says %d (torn write)", len(raw), ref.Bytes)
 	}
-	if hashBytes(data) != ref.Hash {
+	if len(raw)%trace.StoragePacketSize != 0 {
+		return fmt.Sprintf("segment length %d is not a whole number of frames (torn final frame)", len(raw))
+	}
+	if hashBytes(raw) != ref.Hash {
 		return "segment content hash mismatch"
 	}
 	return ""

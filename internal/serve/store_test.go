@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"os"
@@ -559,5 +560,164 @@ func TestReadFramesTransientErrorIsRetryable(t *testing.T) {
 	}
 	if _, ok := st.Manifest("r1"); ok {
 		t.Fatal("run with missing segment still serveable")
+	}
+}
+
+// ---- storage codec ----
+
+// incompressible fills n frames with hash-chained random-looking bytes
+// flate cannot shrink, forcing the codec's raw-container fallback.
+func incompressible(n int) []byte {
+	out := make([]byte, 0, n*trace.StoragePacketSize+sha256.Size)
+	var block [sha256.Size]byte
+	for len(out) < n*trace.StoragePacketSize {
+		block = sha256.Sum256(block[:])
+		out = append(out, block[:]...)
+	}
+	return out[:n*trace.StoragePacketSize]
+}
+
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	cases := map[string][]byte{
+		"compressible":   segData(64, 0x5a),
+		"incompressible": incompressible(64),
+		"empty":          {},
+	}
+	for name, raw := range cases {
+		stored := encodeSegment(raw)
+		if string(stored[:4]) != "VZS1" && string(stored[:4]) != "VZS0" {
+			t.Fatalf("%s: stored segment has no codec magic: %q", name, stored[:4])
+		}
+		got, err := decodeSegment(stored)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if string(got) != string(raw) {
+			t.Fatalf("%s: codec round trip mutated the segment", name)
+		}
+	}
+	if stored := encodeSegment(incompressible(64)); string(stored[:4]) != "VZS0" {
+		t.Fatalf("incompressible data should use the raw container, got %q", stored[:4])
+	}
+	if stored := encodeSegment(segData(64, 0x5a)); len(stored) >= 64*trace.StoragePacketSize {
+		t.Fatalf("compressible data did not shrink: %d stored bytes", len(stored))
+	}
+	// No magic = legacy raw segment, passed through untouched.
+	legacy := segData(2, 0x01)
+	got, err := decodeSegment(legacy)
+	if err != nil || string(got) != string(legacy) {
+		t.Fatalf("legacy passthrough: got err %v", err)
+	}
+}
+
+// TestCommitRecordsCompression: the manifest of a committed run carries
+// the on-disk byte total and the raw/stored ratio, and the API-visible
+// frame bytes still hash and read back as raw.
+func TestCommitRecordsCompression(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "rz", RunMeta{Tenant: "t0", App: "dma-irq", Scale: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	data := segData(64, 0x33)
+	if _, _, err := w.PutSegment(ctx, data, 0); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Dedup re-upload must not double-count stored bytes.
+	if _, dedup, err := w.PutSegment(ctx, data, 64); err != nil || !dedup {
+		t.Fatalf("dedup put: dedup=%v err=%v", dedup, err)
+	}
+	m, err := w.Commit(ctx, TraceStats{Transactions: 1, BodySHA256: "x", Replayable: true})
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if m.StoredBytes == 0 || m.StoredBytes >= m.Bytes {
+		t.Fatalf("expected compressed StoredBytes in (0, %d), got %d", m.Bytes, m.StoredBytes)
+	}
+	if m.CompressionRatio <= 1 {
+		t.Fatalf("CompressionRatio = %v, want > 1", m.CompressionRatio)
+	}
+	if want := float64(m.Bytes) / float64(m.StoredBytes); m.CompressionRatio != want {
+		t.Fatalf("CompressionRatio = %v, want %v", m.CompressionRatio, want)
+	}
+	frames, _, err := st.ReadFrames(ctx, "rz")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(framesToBytes(frames)) != string(append(append([]byte{}, data...), data...)) {
+		t.Fatal("read bytes differ from raw written bytes")
+	}
+}
+
+// TestLegacySegmentStillServed: a pre-codec store laid down raw segment
+// files with no magic. They must read back and survive recovery intact.
+func TestLegacySegmentStillServed(t *testing.T) {
+	root := t.TempDir()
+	commitRun(t, root, "r1")
+	// Rewrite both segments as raw legacy files.
+	for _, salt := range []byte{0x11, 0x22} {
+		data := segData(4, salt)
+		if err := os.WriteFile(segFile(t, root, "r1", data), data, 0o644); err != nil {
+			t.Fatalf("rewrite legacy: %v", err)
+		}
+	}
+	st, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec.Intact) != 1 || len(rec.Quarantined) != 0 {
+		t.Fatalf("legacy run not intact: %s", rec)
+	}
+	frames, _, err := st.ReadFrames(context.Background(), "r1")
+	if err != nil {
+		t.Fatalf("read legacy: %v", err)
+	}
+	if len(frames) != 8 {
+		t.Fatalf("got %d frames, want 8", len(frames))
+	}
+}
+
+// TestTruncatedCompressedSegmentQuarantined: tearing a flate stream is
+// verified damage — recovery must quarantine it, not serve it.
+func TestTruncatedCompressedSegmentQuarantined(t *testing.T) {
+	root := t.TempDir()
+	st, _, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ctx := context.Background()
+	w, err := st.Begin(ctx, "r1", RunMeta{Tenant: "t0", App: "dma-irq", Scale: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	data := segData(64, 0x11) // repeats every 256 bytes: compresses
+	if _, _, err := w.PutSegment(ctx, data, 0); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if _, err := w.Commit(ctx, TraceStats{Transactions: 1, BodySHA256: "x", Replayable: true}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	p := segFile(t, root, "r1", data)
+	stored, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("read seg: %v", err)
+	}
+	if string(stored[:4]) != "VZS1" {
+		t.Fatalf("expected compressed container, got %q", stored[:4])
+	}
+	if err := os.WriteFile(p, stored[:len(stored)-3], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	_, rec, err := OpenStore(root, fastOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec.Quarantined) == 0 {
+		t.Fatalf("truncated compressed segment not quarantined: %s", rec)
 	}
 }

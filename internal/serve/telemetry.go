@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vidi/internal/telemetry"
 )
@@ -38,16 +39,27 @@ type metrics struct {
 	unrecorded        mirror
 	quarantined       mirror
 
+	storedRaw  mirror // raw frame bytes committed (pre-codec)
+	storedDisk mirror // on-disk bytes committed (post-codec)
+
 	httpByCode map[string]*mirror // "2xx"... keyed by class; under flushMu
+
+	// Per-endpoint RED instruments, created lazily under flushMu.
+	durByEndpoint map[string]*qmirror
+	errByEndpoint map[string]*mirror // keyed by endpoint + "\xff" + class
+
+	inFlight atomic.Int64
 
 	// gauge callbacks, read in the flusher
 	openSessions func() float64
 	breakerState func() float64
 	queuedJobs   func() float64
 
-	gSessions *telemetry.Gauge
-	gBreaker  *telemetry.Gauge
-	gQueued   *telemetry.Gauge
+	gSessions    *telemetry.Gauge
+	gBreaker     *telemetry.Gauge
+	gQueued      *telemetry.Gauge
+	gInFlight    *telemetry.Gauge
+	gCompression *telemetry.Gauge
 }
 
 // mirror pairs a handler-side atomic with its registry counter; flush
@@ -66,8 +78,36 @@ func (m *mirror) flush() {
 	m.last = cur
 }
 
+// qmirror stages request-latency samples from concurrent handlers into a
+// private quantile histogram; flush — the registry shard's only writer —
+// merges the staged samples in and resets the stage. Same single-writer
+// contract as mirror, for distributions.
+type qmirror struct {
+	mu    sync.Mutex
+	stage telemetry.QuantileHistogram
+	q     *telemetry.QuantileHistogram
+}
+
+func (m *qmirror) observe(v float64) {
+	m.mu.Lock()
+	m.stage.Observe(v)
+	m.mu.Unlock()
+}
+
+func (m *qmirror) flush() {
+	m.mu.Lock()
+	m.q.Merge(&m.stage)
+	m.stage.Reset()
+	m.mu.Unlock()
+}
+
 func newMetrics(sink *telemetry.Sink) *metrics {
-	m := &metrics{sink: sink, httpByCode: map[string]*mirror{}}
+	m := &metrics{
+		sink:          sink,
+		httpByCode:    map[string]*mirror{},
+		durByEndpoint: map[string]*qmirror{},
+		errByEndpoint: map[string]*mirror{},
+	}
 	reg := func(mr *mirror, name, help string) {
 		mr.c = sink.Counter(name, help)
 	}
@@ -89,11 +129,57 @@ func newMetrics(sink *telemetry.Sink) *metrics {
 	reg(&m.divergences, "vidi_serve_divergences_total", "Divergences reported by replay jobs.")
 	reg(&m.unrecorded, "vidi_serve_unrecorded_total", "Unrecorded (degraded-gap) transactions reported by replay jobs.")
 	reg(&m.quarantined, "vidi_serve_quarantined_total", "Artifacts quarantined by recovery or read verification.")
+	reg(&m.storedRaw, "vidi_serve_stored_raw_bytes_total", "Raw frame bytes of committed runs (pre-compression).")
+	reg(&m.storedDisk, "vidi_serve_stored_disk_bytes_total", "On-disk segment bytes of committed runs (post-compression).")
 	m.gSessions = sink.Gauge("vidi_serve_sessions_open", "Currently open recording sessions.")
 	m.gBreaker = sink.Gauge("vidi_serve_breaker_state", "Store breaker state: 0 closed, 0.5 half-open, 1 open.")
 	m.gQueued = sink.Gauge("vidi_serve_jobs_queued", "Jobs waiting for a worker.")
+	m.gInFlight = sink.Gauge("vidi_serve_requests_in_flight", "HTTP requests currently being handled.")
+	m.gCompression = sink.Gauge("vidi_serve_compression_ratio", "Raw/stored byte ratio across committed runs (1 = incompressible).")
 	sink.OnGather(m.flush)
 	return m
+}
+
+// request records one completed request into the per-endpoint RED
+// instruments: a latency sample always, an error counter by status class
+// for 4xx/5xx.
+func (m *metrics) request(endpoint string, status int, dur time.Duration) {
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	m.flushMu.Lock()
+	qm, ok := m.durByEndpoint[endpoint]
+	if !ok {
+		qm = &qmirror{q: m.sink.Quantile("vidi_serve_request_duration_seconds",
+			"Request handling latency.", telemetry.L("endpoint", endpoint))}
+		m.durByEndpoint[endpoint] = qm
+	}
+	var em *mirror
+	if status >= 400 {
+		class := "5xx"
+		if status < 500 {
+			class = "4xx"
+		}
+		key := endpoint + "\xff" + class
+		if em, ok = m.errByEndpoint[key]; !ok {
+			em = &mirror{c: m.sink.Counter("vidi_serve_request_errors_total",
+				"Requests that ended in an error status.",
+				telemetry.L("endpoint", endpoint), telemetry.L("class", class))}
+			m.errByEndpoint[key] = em
+		}
+	}
+	m.flushMu.Unlock()
+	qm.observe(dur.Seconds())
+	if em != nil {
+		em.v.Add(1)
+	}
+}
+
+// noteStored accounts one committed run's raw and on-disk bytes (the
+// compression-ratio gauge's inputs).
+func (m *metrics) noteStored(raw, disk uint64) {
+	m.storedRaw.v.Add(raw)
+	m.storedDisk.v.Add(disk)
 }
 
 // httpCode counts one response by status class ("2xx".."5xx").
@@ -133,6 +219,28 @@ func (m *metrics) flush() {
 	sort.Strings(classes)
 	for _, c := range classes {
 		m.httpByCode[c].flush()
+	}
+	eps := make([]string, 0, len(m.durByEndpoint))
+	for e := range m.durByEndpoint {
+		eps = append(eps, e)
+	}
+	sort.Strings(eps)
+	for _, e := range eps {
+		m.durByEndpoint[e].flush()
+	}
+	keys := make([]string, 0, len(m.errByEndpoint))
+	for k := range m.errByEndpoint {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.errByEndpoint[k].flush()
+	}
+	m.storedRaw.flush()
+	m.storedDisk.flush()
+	m.gInFlight.Set(float64(m.inFlight.Load()))
+	if disk := m.storedDisk.v.Load(); disk > 0 {
+		m.gCompression.Set(float64(m.storedRaw.v.Load()) / float64(disk))
 	}
 	if m.openSessions != nil {
 		m.gSessions.Set(m.openSessions())

@@ -11,11 +11,12 @@ import (
 // Kind is a metric family's type.
 type Kind uint8
 
-// The three instrument kinds.
+// The four instrument kinds.
 const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	KindQuantile
 )
 
 // String returns the Prometheus TYPE keyword.
@@ -27,6 +28,8 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindQuantile:
+		return "summary"
 	}
 	return "untyped"
 }
@@ -115,6 +118,7 @@ type series struct {
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
+	quants   []*QuantileHistogram
 }
 
 // family is one metric name: its kind, help and series.
@@ -206,6 +210,15 @@ func (r *Registry) histogram(name, help string, buckets []float64, labels []Labe
 	se := f.at(labels)
 	se.hists = append(se.hists, h)
 	return h
+}
+
+func (r *Registry) quantile(name, help string, labels []Label) *QuantileHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q := &QuantileHistogram{}
+	se := r.family(name, help, KindQuantile).at(labels)
+	se.quants = append(se.quants, q)
+	return q
 }
 
 func (r *Registry) flush() {

@@ -62,6 +62,7 @@ type promSeries struct {
 	hasInf  bool
 	infCnt  uint64
 	buckets map[float64]uint64
+	quants  map[float64]float64
 }
 
 type promParser struct {
@@ -126,15 +127,18 @@ func (p *promParser) sample(line string) error {
 		return fmt.Errorf("sample %q: %w", line, err)
 	}
 
-	// Histogram expansion lines attach to their base family.
+	// Histogram and summary expansion lines attach to their base family.
 	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 		base := strings.TrimSuffix(name, suffix)
 		if base == name {
 			continue
 		}
 		f, ok := p.fams[base]
-		if !ok || f.kind != "histogram" {
+		if !ok || (f.kind != "histogram" && f.kind != "summary") {
 			continue
+		}
+		if suffix == "_bucket" && f.kind == "summary" {
+			continue // a summary has no buckets; treat X_bucket as its own name
 		}
 		le, hasLE := labels["le"]
 		if suffix == "_bucket" && !hasLE {
@@ -163,6 +167,25 @@ func (p *promParser) sample(line string) error {
 			se.buckets[bound] = uint64(val)
 		}
 		return nil
+	}
+
+	// Summary quantile samples: name{quantile="0.99"} v on a declared
+	// summary family.
+	if f, ok := p.fams[name]; ok && f.kind == "summary" {
+		qs, hasQ := labels["quantile"]
+		if hasQ {
+			q, err := strconv.ParseFloat(qs, 64)
+			if err != nil {
+				return fmt.Errorf("sample %q: bad quantile %q", line, qs)
+			}
+			delete(labels, "quantile")
+			se := f.at(labels)
+			if se.quants == nil {
+				se.quants = map[float64]float64{}
+			}
+			se.quants[q] = val
+			return nil
+		}
 	}
 
 	f := p.family(name, "untyped")
@@ -291,6 +314,16 @@ func (p *promParser) snapshot() *Snapshot {
 				sort.Float64s(bounds)
 				for _, b := range bounds {
 					ss.Buckets = append(ss.Buckets, Bucket{LE: b, Count: se.buckets[b]})
+				}
+			}
+			if f.kind == "summary" && len(se.quants) > 0 {
+				qs := make([]float64, 0, len(se.quants))
+				for q := range se.quants {
+					qs = append(qs, q)
+				}
+				sort.Float64s(qs)
+				for _, q := range qs {
+					ss.Quantiles = append(ss.Quantiles, QuantilePoint{Q: q, V: se.quants[q]})
 				}
 			}
 			fs.Series = append(fs.Series, ss)

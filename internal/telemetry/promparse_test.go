@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -105,5 +106,109 @@ func TestParsePrometheusCorrupt(t *testing.T) {
 		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
 			t.Errorf("%q: expected error", bad)
 		}
+	}
+}
+
+// TestParsePrometheusEscapedLabels: label values containing quotes,
+// backslashes and newlines survive the exposition escaping both ways.
+func TestParsePrometheusEscapedLabels(t *testing.T) {
+	hairy := "he said \"hi\\there\"\nline2"
+	s := New()
+	s.Counter("esc_total", "", L("msg", hairy)).Add(3)
+	var buf bytes.Buffer
+	if err := s.Gather().WritePrometheus(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	snap, err := ParsePrometheus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := snap.Family("esc_total")
+	if f == nil || len(f.Series) != 1 {
+		t.Fatalf("family missing: %+v", f)
+	}
+	if got := f.Series[0].Label("msg"); got != hairy {
+		t.Errorf("label round trip: got %q, want %q", got, hairy)
+	}
+	if f.Series[0].Value != 3 {
+		t.Errorf("value: got %v, want 3", f.Series[0].Value)
+	}
+
+	// And hand-written exposition escapes (not via our writer).
+	text := "weird{a=\"back\\\\slash\",b=\"new\\nline\",c=\"qu\\\"ote\"} 1\n"
+	snap, err = ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse hand-written: %v", err)
+	}
+	se := snap.Family("weird").Series[0]
+	for k, want := range map[string]string{"a": `back\slash`, "b": "new\nline", "c": `qu"ote`} {
+		if got := se.Label(k); got != want {
+			t.Errorf("label %s: got %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestParsePrometheusSpecialValues: NaN and ±Inf samples parse as their
+// IEEE values rather than erroring out the whole scrape.
+func TestParsePrometheusSpecialValues(t *testing.T) {
+	text := strings.Join([]string{
+		"ratio_nan NaN",
+		"ceiling_inf +Inf",
+		"floor_inf -Inf",
+	}, "\n")
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v := snap.Family("ratio_nan").Series[0].Value; !math.IsNaN(v) {
+		t.Errorf("NaN sample: got %v", v)
+	}
+	if v := snap.Family("ceiling_inf").Series[0].Value; !math.IsInf(v, 1) {
+		t.Errorf("+Inf sample: got %v", v)
+	}
+	if v := snap.Family("floor_inf").Series[0].Value; !math.IsInf(v, -1) {
+		t.Errorf("-Inf sample: got %v", v)
+	}
+}
+
+// TestParsePrometheusDuplicateFamily: repeated TYPE/HELP declarations and
+// interleaved samples for one family fold into a single family, summing
+// same-signature series.
+func TestParsePrometheusDuplicateFamily(t *testing.T) {
+	text := strings.Join([]string{
+		"# TYPE dup_total counter",
+		"dup_total{shard=\"a\"} 2",
+		"# TYPE other_total counter",
+		"other_total 1",
+		"# HELP dup_total counted twice",
+		"# TYPE dup_total counter",
+		"dup_total{shard=\"a\"} 3",
+		"dup_total{shard=\"b\"} 5",
+	}, "\n")
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := snap.Family("dup_total")
+	if f == nil {
+		t.Fatal("dup_total family missing")
+	}
+	if f.Help != "counted twice" {
+		t.Errorf("help: got %q", f.Help)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series count: got %d, want 2 (%+v)", len(f.Series), f.Series)
+	}
+	if v := snap.Total("dup_total"); v != 10 {
+		t.Errorf("folded total: got %v, want 10", v)
+	}
+	seen := 0
+	for _, fam := range snap.Families {
+		if fam.Name == "dup_total" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("dup_total appears %d times in snapshot, want 1", seen)
 	}
 }

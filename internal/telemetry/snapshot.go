@@ -35,6 +35,11 @@ type SeriesSnap struct {
 	Sum     float64  `json:"sum,omitempty"`
 	Count   uint64   `json:"count,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Summary (quantile histogram) fields. Centroids are the occupied
+	// log-buckets (non-cumulative, mergeable); Quantiles are precomputed
+	// points derived from them at gather time.
+	Centroids []Centroid      `json:"centroids,omitempty"`
+	Quantiles []QuantilePoint `json:"quantiles,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket.
@@ -96,6 +101,17 @@ func (r *Registry) gather() *Snapshot {
 					running += cum[i]
 					ss.Buckets = append(ss.Buckets, Bucket{LE: b, Count: running})
 				}
+			case KindQuantile:
+				merged := &QuantileHistogram{}
+				for _, q := range se.quants {
+					merged.Merge(q)
+				}
+				ss.Sum = merged.Sum()
+				ss.Count = merged.Count()
+				ss.Centroids = merged.centroids()
+				for _, p := range qhQuantilePoints {
+					ss.Quantiles = append(ss.Quantiles, QuantilePoint{Q: p, V: merged.Quantile(p)})
+				}
 			}
 			fs.Series = append(fs.Series, ss)
 		}
@@ -149,6 +165,8 @@ func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
 					m.byKey[k] = len(m.Series)
 					cp := se
 					cp.Buckets = append([]Bucket(nil), se.Buckets...)
+					cp.Centroids = append([]Centroid(nil), se.Centroids...)
+					cp.Quantiles = append([]QuantilePoint(nil), se.Quantiles...)
 					m.Series = append(m.Series, cp)
 					continue
 				}
@@ -164,6 +182,13 @@ func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
 						return nil, fmt.Errorf("telemetry: merge: family %q bucket bounds differ", f.Name)
 					}
 					dst.Buckets[bi].Count += se.Buckets[bi].Count
+				}
+				if len(dst.Centroids) > 0 || len(se.Centroids) > 0 {
+					dst.Centroids = mergeCentroids(dst.Centroids, se.Centroids)
+					dst.Quantiles = dst.Quantiles[:0]
+					for _, p := range qhQuantilePoints {
+						dst.Quantiles = append(dst.Quantiles, QuantilePoint{Q: p, V: quantileFromCentroids(dst.Centroids, p)})
+					}
 				}
 			}
 		}
@@ -214,6 +239,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, labelString(se.Labels, "le", "+Inf"), se.Count)
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, labelString(se.Labels, "", ""), formatFloat(se.Sum))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, labelString(se.Labels, "", ""), se.Count)
+			case "summary":
+				for _, qp := range se.Quantiles {
+					fmt.Fprintf(&b, "%s%s %s\n",
+						f.Name, labelString(se.Labels, "quantile", formatFloat(qp.Q)), formatFloat(qp.V))
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, labelString(se.Labels, "", ""), formatFloat(se.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, labelString(se.Labels, "", ""), se.Count)
 			default:
 				fmt.Fprintf(&b, "%s%s %s\n", f.Name, labelString(se.Labels, "", ""), formatFloat(se.Value))
 			}
@@ -248,6 +280,23 @@ func (s *Snapshot) Total(name string) float64 {
 
 // Label returns one label's value ("" if absent).
 func (ss SeriesSnap) Label(key string) string { return ss.Labels[key] }
+
+// QuantileValue returns the p-quantile of a summary series: recomputed from
+// centroids when present (exact for any p), otherwise the nearest
+// precomputed quantile point (a scraped exposition carries only those).
+// Returns 0 for an empty series.
+func (ss SeriesSnap) QuantileValue(p float64) float64 {
+	if len(ss.Centroids) > 0 {
+		return quantileFromCentroids(ss.Centroids, p)
+	}
+	best, bestDist := 0.0, math.Inf(1)
+	for _, qp := range ss.Quantiles {
+		if d := math.Abs(qp.Q - p); d < bestDist {
+			best, bestDist = qp.V, d
+		}
+	}
+	return best
+}
 
 // labelString renders {k="v",...}, optionally appending one extra pair
 // (the histogram le label). Returns "" when there is nothing to render.

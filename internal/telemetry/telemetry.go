@@ -106,6 +106,17 @@ func (s *Sink) Histogram(name, help string, buckets []float64, labels ...Label) 
 	return s.reg.histogram(name, help, buckets, s.withConsts(labels))
 }
 
+// Quantile registers (or extends) a log-bucketed quantile histogram series
+// (Prometheus summary kind) and returns a new shard owned by the caller.
+// Shards of one series merge on scrape; quantiles come out of the merged
+// distribution with ~1% relative error. Returns nil on a nil sink.
+func (s *Sink) Quantile(name, help string, labels ...Label) *QuantileHistogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.quantile(name, help, s.withConsts(labels))
+}
+
 // Track returns the tracer track for (process, thread), creating it on
 // first use. Returns nil when the sink is nil or tracing is not armed, and
 // a nil *Track swallows spans for free.
